@@ -1,0 +1,71 @@
+//! Experiment E10 (engineering): scaling of the analysis tools.
+//!
+//! * The general-purpose linearizability checker (backtracking with memoization) vs
+//!   history length.
+//! * Algorithm 3 (the on-line write strong-linearization function) vs trace length — it
+//!   runs in low polynomial time, which is why the write-strong prefix checks over all
+//!   prefixes are feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlt_bench::{lamport_workload, vector_workload};
+use rlt_registers::algorithm3::vector_linearization;
+use rlt_spec::check_linearizable;
+use std::hint::black_box;
+
+fn linearizability_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_linearizable");
+    group.sample_size(20);
+    for &decisions in &[20usize, 40, 80] {
+        let history = lamport_workload(3, decisions, 7);
+        group.bench_with_input(
+            BenchmarkId::new("lamport_history", history.len()),
+            &history,
+            |b, h| {
+                b.iter(|| black_box(check_linearizable(h, &0).is_some()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn algorithm3_linearization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm3_vector_linearization");
+    group.sample_size(20);
+    for &decisions in &[20usize, 60, 120] {
+        let sim = vector_workload(4, decisions, 11);
+        let trace = sim.trace();
+        group.bench_with_input(
+            BenchmarkId::new("trace_ops", trace.history.len()),
+            &trace,
+            |b, t| {
+                b.iter(|| black_box(vector_linearization(t, None).is_some()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn algorithm3_vs_general_checker(c: &mut Criterion) {
+    // Head-to-head on the same workload: the specialized on-line function vs the
+    // exponential-in-the-worst-case search.
+    let mut group = c.benchmark_group("algorithm3_vs_general_checker");
+    group.sample_size(20);
+    let sim = vector_workload(3, 40, 5);
+    let trace = sim.trace();
+    group.bench_function("algorithm3", |b| {
+        b.iter(|| black_box(vector_linearization(&trace, None).is_some()));
+    });
+    group.bench_function("general_checker", |b| {
+        b.iter(|| black_box(check_linearizable(&trace.history, &0).is_some()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = linearizability_checker, algorithm3_linearization, algorithm3_vs_general_checker
+}
+criterion_main!(benches);

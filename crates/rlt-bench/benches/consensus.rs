@@ -1,0 +1,70 @@
+//! Experiment E3 (cost side): the consensus task substrate and the Corollary 9 wrapper.
+//!
+//! Shape to reproduce: consensus alone and the wrapped `A′` over write
+//! strongly-linearizable registers cost about the same (the game ends after ~2 rounds),
+//! while the wrapped `A′` over linearizable registers pays for `max_rounds` of the game
+//! and never reaches consensus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlt_consensus::{run_consensus, ConsensusConfig};
+use rlt_game::run_wrapped;
+use rlt_sim::RegisterMode;
+use std::hint::black_box;
+
+fn consensus_alone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_alone");
+    group.sample_size(20);
+    for &n in &[3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("processes", n), &n, |b, &n| {
+            let inputs: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_consensus(&ConsensusConfig::new(n, inputs.clone()), seed).steps)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn wrapped_a_prime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary9_wrapper");
+    group.sample_size(15);
+    let n = 4;
+    let inputs = vec![0i64, 1, 1, 0];
+    group.bench_function("write_strong_registers", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                run_wrapped(
+                    RegisterMode::WriteStrongLinearizable,
+                    n,
+                    inputs.clone(),
+                    256,
+                    seed,
+                )
+                .terminated(),
+            )
+        });
+    });
+    group.bench_function("linearizable_registers_30_rounds", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                run_wrapped(RegisterMode::Linearizable, n, inputs.clone(), 30, seed).terminated(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = consensus_alone, wrapped_a_prime
+}
+criterion_main!(benches);

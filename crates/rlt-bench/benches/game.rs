@@ -1,0 +1,79 @@
+//! Experiments E1/E2/E9 (cost side): the termination game.
+//!
+//! * Cost of a fixed number of rounds of the Figure 1/2 schedule under each register
+//!   mode and process count (the linearizable mode runs exactly the requested number of
+//!   rounds; the other two usually stop after ~2 rounds, which is the paper's point —
+//!   the benchmark pins `max_rounds` low so the compared work is similar).
+//! * Cost of a full termination experiment (many seeded trials).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlt_game::{run_game, termination_experiment, GameConfig};
+use rlt_sim::RegisterMode;
+use std::hint::black_box;
+
+fn game_rounds_by_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game_10_rounds");
+    group.sample_size(30);
+    for &n in &[4usize, 8, 16] {
+        let cfg = GameConfig::new(n).with_max_rounds(10);
+        for (label, mode) in [
+            ("linearizable", RegisterMode::Linearizable),
+            ("write_strong", RegisterMode::WriteStrongLinearizable),
+            ("atomic", RegisterMode::Atomic),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(mode, cfg.clone()),
+                |b, (mode, cfg)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(run_game(*mode, cfg, seed).rounds_executed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn termination_experiment_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("termination_experiment_100_trials");
+    group.sample_size(10);
+    let cfg = GameConfig::new(5).with_max_rounds(64);
+    group.bench_function("write_strong", |b| {
+        b.iter(|| {
+            black_box(termination_experiment(
+                RegisterMode::WriteStrongLinearizable,
+                &cfg,
+                100,
+                3,
+            ))
+        });
+    });
+    group.bench_function("atomic", |b| {
+        b.iter(|| black_box(termination_experiment(RegisterMode::Atomic, &cfg, 100, 3)));
+    });
+    group.finish();
+}
+
+fn theorem6_long_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem6_adversary");
+    group.sample_size(10);
+    for &rounds in &[50u64, 200] {
+        group.bench_with_input(BenchmarkId::new("rounds", rounds), &rounds, |b, &rounds| {
+            let cfg = GameConfig::new(5).with_max_rounds(rounds);
+            b.iter(|| black_box(run_game(RegisterMode::Linearizable, &cfg, 9).rounds_executed));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = game_rounds_by_mode, termination_experiment_cost, theorem6_long_run
+}
+criterion_main!(benches);

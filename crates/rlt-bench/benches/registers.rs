@@ -1,0 +1,118 @@
+//! Experiment E4/E5 (cost side): the price of write strong-linearizability.
+//!
+//! Compares the per-operation cost of Algorithm 2 (vector timestamps, write
+//! strongly-linearizable) against Algorithm 4 (Lamport clocks, only linearizable), both
+//! as threaded implementations and as step simulators, for growing process counts.
+//! The shape to reproduce: both scale linearly in `n` (each operation scans all `Val[-]`
+//! cells); Algorithm 2 pays a constant-factor overhead for building the vector
+//! timestamp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlt_registers::algorithm2::VectorSim;
+use rlt_registers::algorithm4::LamportSim;
+use rlt_registers::threaded::{LamportRegister, VectorRegister};
+use rlt_spec::ProcessId;
+use std::hint::black_box;
+
+fn threaded_write_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_write_read");
+    group.sample_size(30);
+    for &n in &[2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("algorithm2_vector", n), &n, |b, &n| {
+            let reg = VectorRegister::new(n);
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                reg.write(ProcessId(0), i);
+                black_box(reg.read(ProcessId(1)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm4_lamport", n), &n, |b, &n| {
+            let reg = LamportRegister::new(n);
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                reg.write(ProcessId(0), i);
+                black_box(reg.read(ProcessId(1)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn simulated_write_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_full_write");
+    group.sample_size(30);
+    for &n in &[3usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::new("algorithm2_vector", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = VectorSim::new(n);
+                sim.start_write(ProcessId(0), 1);
+                sim.run_to_completion(ProcessId(0));
+                black_box(sim.now())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm4_lamport", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = LamportSim::new(n);
+                sim.start_write(ProcessId(0), 1);
+                sim.run_to_completion(ProcessId(0));
+                black_box(sim.now())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn threaded_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_contention_4_threads");
+    group.sample_size(15);
+    group.bench_function("algorithm2_vector", |b| {
+        b.iter(|| {
+            let reg = VectorRegister::new(4);
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    let r = &reg;
+                    s.spawn(move || {
+                        for i in 0..50 {
+                            if t % 2 == 0 {
+                                r.write(ProcessId(t), i);
+                            } else {
+                                black_box(r.read(ProcessId(t)));
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.bench_function("algorithm4_lamport", |b| {
+        b.iter(|| {
+            let reg = LamportRegister::new(4);
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    let r = &reg;
+                    s.spawn(move || {
+                        for i in 0..50 {
+                            if t % 2 == 0 {
+                                r.write(ProcessId(t), i);
+                            } else {
+                                black_box(r.read(ProcessId(t)));
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = threaded_write_read, simulated_write_op, threaded_contention
+}
+criterion_main!(benches);

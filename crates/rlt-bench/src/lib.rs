@@ -1,0 +1,64 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! The benchmarks (in `benches/`) regenerate the quantitative side of every experiment
+//! in `EXPERIMENTS.md`:
+//!
+//! * `registers` — cost of Algorithm 2 (vector timestamps) vs Algorithm 4 (Lamport
+//!   clocks) operations, threaded and simulated, as the number of processes grows.
+//! * `checkers` — scaling of the linearizability checker and of Algorithm 3 with
+//!   history length.
+//! * `game` — cost per round of the Figure 1/2 schedule under each register mode, and
+//!   of a full termination experiment.
+//! * `abd` — cost of ABD write/read round trips as the cluster grows.
+//! * `consensus` — cost of a full randomized-consensus instance.
+
+#![warn(missing_docs)]
+
+use rlt_registers::algorithm2::VectorSim;
+use rlt_registers::algorithm4::LamportSim;
+use rlt_registers::schedule::{random_run, MwmrStepSim, WorkloadParams};
+use rlt_spec::History;
+
+/// Builds an Algorithm 2 trace from a seeded random workload (used by the checker
+/// benchmarks so the workload generation is not measured).
+#[must_use]
+pub fn vector_workload(n: usize, decisions: usize, seed: u64) -> VectorSim {
+    let mut sim = VectorSim::new(n);
+    random_run(
+        &mut sim,
+        seed,
+        WorkloadParams {
+            decisions,
+            write_fraction: 0.5,
+        },
+    );
+    sim
+}
+
+/// Builds an Algorithm 4 history from a seeded random workload.
+#[must_use]
+pub fn lamport_workload(n: usize, decisions: usize, seed: u64) -> History<i64> {
+    let mut sim = LamportSim::new(n);
+    random_run(
+        &mut sim,
+        seed,
+        WorkloadParams {
+            decisions,
+            write_fraction: 0.5,
+        },
+    );
+    sim.recorded_history()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_helpers_produce_nonempty_histories() {
+        let sim = vector_workload(3, 30, 1);
+        assert!(!sim.history().is_empty());
+        let h = lamport_workload(3, 30, 1);
+        assert!(!h.is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! Randomized binary consensus over shared registers — the "task `T`" substrate for the
+//! Corollary 9 wrapper construction.
+//!
+//! Corollary 9 of the paper takes *any* randomized algorithm `A` that solves a task and
+//! terminates with probability 1, and builds `A′ = (Algorithm 1 ; A)`: if `A′`'s extra
+//! registers are only linearizable a strong adversary can prevent termination, while
+//! with write strongly-linearizable registers `A′` terminates. The paper's canonical
+//! example of such a task is consensus, so this crate provides a randomized binary
+//! consensus algorithm to play the role of `A`.
+//!
+//! The protocol is a shared-memory adaptation of Ben-Or's round-based scheme with local
+//! coins, run over atomic registers through the [`rlt_sim`] scheduler:
+//!
+//! * **Phase 1 (report)** — each process writes its current preference into its own
+//!   round-`r` report register and then reads everybody's report for round `r`.
+//! * **Phase 2 (proposal)** — if all reports agree on `v` the process proposes `v`,
+//!   otherwise it proposes `⊥`; it writes the proposal and reads everybody's proposal
+//!   for round `r`. If every proposal is `v ≠ ⊥` it decides `v`; if some proposal is
+//!   `v ≠ ⊥` it adopts `v`; otherwise it adopts a local coin flip and moves to round
+//!   `r + 1`.
+//!
+//! With every process taking steps (the crash-free executions used in the experiments),
+//! agreement and validity hold in every run and termination holds with probability 1
+//! (each round ends the protocol with probability at least `2^{-n}` when coins are
+//! flipped, and immediately when the preferences already agree).
+//!
+//! # Example
+//!
+//! ```
+//! use rlt_consensus::{run_consensus, ConsensusConfig};
+//!
+//! let outcome = run_consensus(&ConsensusConfig::new(3, vec![0, 1, 1]), 42);
+//! assert!(outcome.all_decided());
+//! assert!(outcome.agreement_holds());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlt_sim::{
+    Adversary, CoinSource, RandomAdversary, RegisterMode, Scheduler, SharedMem, StepOutcome,
+    StepProcess,
+};
+use rlt_spec::{ProcessId, RegisterId, Value};
+use std::fmt;
+
+/// Base register id for the consensus round registers (to keep them disjoint from other
+/// registers a caller may add to the same memory).
+const REG_BASE: usize = 1_000;
+
+/// Register holding process `i`'s phase-1 report for round `r`.
+fn report_reg(n: usize, round: u64, i: usize) -> RegisterId {
+    RegisterId(REG_BASE + (round as usize) * 2 * n + i)
+}
+
+/// Register holding process `i`'s phase-2 proposal for round `r`.
+fn proposal_reg(n: usize, round: u64, i: usize) -> RegisterId {
+    RegisterId(REG_BASE + (round as usize) * 2 * n + n + i)
+}
+
+/// Register in which process `i` publishes its decision `(value, round)` when it
+/// terminates; used by the harness to collect outcomes.
+fn decision_reg(i: usize) -> RegisterId {
+    RegisterId(500 + i)
+}
+
+/// Configuration of a consensus run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Initial binary preference (0 or 1) of each process.
+    pub inputs: Vec<i64>,
+    /// Step budget for the scheduler.
+    pub max_steps: u64,
+}
+
+impl ConsensusConfig {
+    /// Creates a configuration with the default step budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n` or an input is not 0/1.
+    #[must_use]
+    pub fn new(n: usize, inputs: Vec<i64>) -> Self {
+        assert_eq!(inputs.len(), n, "one input per process required");
+        assert!(
+            inputs.iter().all(|v| *v == 0 || *v == 1),
+            "inputs must be binary"
+        );
+        ConsensusConfig {
+            n,
+            inputs,
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// The outcome of a consensus run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusOutcome {
+    /// The decision of each process (`None` if it ran out of steps undecided).
+    pub decisions: Vec<Option<i64>>,
+    /// The round in which each process decided.
+    pub decision_rounds: Vec<Option<u64>>,
+    /// Total scheduler steps executed.
+    pub steps: u64,
+}
+
+impl ConsensusOutcome {
+    /// `true` if every process decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.decisions.iter().all(|d| d.is_some())
+    }
+
+    /// `true` if no two processes decided different values.
+    #[must_use]
+    pub fn agreement_holds(&self) -> bool {
+        let decided: Vec<i64> = self.decisions.iter().flatten().copied().collect();
+        decided.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// `true` if every decision equals one of the inputs (trivially true for binary
+    /// consensus when both values are proposed; meaningful when inputs are unanimous).
+    #[must_use]
+    pub fn validity_holds(&self, inputs: &[i64]) -> bool {
+        self.decisions
+            .iter()
+            .flatten()
+            .all(|d| inputs.contains(d))
+    }
+
+    /// The agreed value, if any process decided.
+    #[must_use]
+    pub fn decided_value(&self) -> Option<i64> {
+        self.decisions.iter().flatten().next().copied()
+    }
+}
+
+impl fmt::Display for ConsensusOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "consensus: decided={:?} rounds={:?} steps={}",
+            self.decisions, self.decision_rounds, self.steps
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    WriteReport,
+    ScanReports { j: usize, seen: Vec<i64> },
+    WriteProposal { proposal: Option<i64> },
+    ScanProposals { j: usize, seen: Vec<Option<i64>> },
+    Decided,
+}
+
+/// The per-process consensus state machine (one instance per process).
+#[derive(Debug, Clone)]
+pub struct ConsensusProcess {
+    n: usize,
+    pref: i64,
+    round: u64,
+    phase: Phase,
+    decided: Option<i64>,
+    decided_round: Option<u64>,
+}
+
+impl ConsensusProcess {
+    /// Creates the state machine for one process with its initial preference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not 0 or 1.
+    #[must_use]
+    pub fn new(n: usize, input: i64) -> Self {
+        assert!(input == 0 || input == 1, "binary consensus input");
+        ConsensusProcess {
+            n,
+            pref: input,
+            round: 1,
+            phase: Phase::WriteReport,
+            decided: None,
+            decided_round: None,
+        }
+    }
+
+    /// The decision, if reached.
+    #[must_use]
+    pub fn decision(&self) -> Option<i64> {
+        self.decided
+    }
+
+    /// The round in which the decision was reached, if any.
+    #[must_use]
+    pub fn decision_round(&self) -> Option<u64> {
+        self.decided_round
+    }
+
+    /// The current round number.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+impl StepProcess<Value> for ConsensusProcess {
+    fn step(
+        &mut self,
+        pid: ProcessId,
+        mem: &mut SharedMem<Value>,
+        coin: &mut CoinSource,
+    ) -> StepOutcome {
+        match std::mem::replace(&mut self.phase, Phase::Decided) {
+            Phase::WriteReport => {
+                mem.write(pid, report_reg(self.n, self.round, pid.0), Value::Int(self.pref));
+                self.phase = Phase::ScanReports {
+                    j: 0,
+                    seen: Vec::new(),
+                };
+                StepOutcome::Running
+            }
+            Phase::ScanReports { j, mut seen } => {
+                let v = mem.read(pid, report_reg(self.n, self.round, j));
+                match v {
+                    Value::Int(p) => {
+                        seen.push(p);
+                        if seen.len() == self.n {
+                            // All reports for this round are in.
+                            let first = seen[0];
+                            let proposal = if seen.iter().all(|x| *x == first) {
+                                Some(first)
+                            } else {
+                                None
+                            };
+                            self.phase = Phase::WriteProposal { proposal };
+                        } else {
+                            self.phase = Phase::ScanReports { j: j + 1, seen };
+                        }
+                    }
+                    _ => {
+                        // Process j has not reported yet; retry the same register.
+                        self.phase = Phase::ScanReports { j, seen };
+                    }
+                }
+                StepOutcome::Running
+            }
+            Phase::WriteProposal { proposal } => {
+                let value = match proposal {
+                    Some(v) => Value::Int(v),
+                    None => Value::Bot,
+                };
+                mem.write(pid, proposal_reg(self.n, self.round, pid.0), value);
+                self.phase = Phase::ScanProposals {
+                    j: 0,
+                    seen: Vec::new(),
+                };
+                StepOutcome::Running
+            }
+            Phase::ScanProposals { j, mut seen } => {
+                let v = mem.read(pid, proposal_reg(self.n, self.round, j));
+                match v {
+                    Value::Int(p) => {
+                        seen.push(Some(p));
+                    }
+                    Value::Bot => {
+                        seen.push(None);
+                    }
+                    _ => {
+                        // Not yet written; retry.
+                        self.phase = Phase::ScanProposals { j, seen };
+                        return StepOutcome::Running;
+                    }
+                }
+                if seen.len() == self.n {
+                    let non_bot: Vec<i64> = seen.iter().flatten().copied().collect();
+                    if non_bot.len() == self.n {
+                        // Every proposal is a value; by the uniqueness of non-⊥
+                        // proposals they all agree — decide and publish the decision.
+                        self.decided = Some(non_bot[0]);
+                        self.decided_round = Some(self.round);
+                        mem.write(
+                            pid,
+                            decision_reg(pid.0),
+                            Value::Pair(non_bot[0], self.round as i64),
+                        );
+                        self.phase = Phase::Decided;
+                        return StepOutcome::Done;
+                    }
+                    if let Some(v) = non_bot.first() {
+                        self.pref = *v;
+                    } else {
+                        self.pref = i64::from(coin.flip(pid));
+                    }
+                    self.round += 1;
+                    self.phase = Phase::WriteReport;
+                } else {
+                    self.phase = Phase::ScanProposals { j: j + 1, seen };
+                }
+                StepOutcome::Running
+            }
+            Phase::Decided => StepOutcome::Done,
+        }
+    }
+}
+
+/// Runs a full consensus instance under a seeded random scheduler over atomic registers
+/// and returns the outcome.
+#[must_use]
+pub fn run_consensus(config: &ConsensusConfig, seed: u64) -> ConsensusOutcome {
+    run_consensus_with_adversary(config, Box::new(RandomAdversary::new(seed)), seed)
+}
+
+/// Runs a consensus instance under the given scheduling adversary.
+#[must_use]
+pub fn run_consensus_with_adversary(
+    config: &ConsensusConfig,
+    adversary: Box<dyn Adversary>,
+    coin_seed: u64,
+) -> ConsensusOutcome {
+    let mem: SharedMem<Value> = SharedMem::new(RegisterMode::Atomic, Value::Init);
+    let coin = CoinSource::new(coin_seed);
+    let mut sched = Scheduler::new(mem, coin, adversary);
+    for (i, &input) in config.inputs.iter().enumerate() {
+        sched.add_process(ProcessId(i), Box::new(ConsensusProcess::new(config.n, input)));
+    }
+    let outcome = sched.run(config.max_steps);
+    // Each process publishes `(value, round)` into its decision register right before
+    // terminating; collect the outcomes from the recorded history.
+    let history = sched.history();
+    let mut decisions = vec![None; config.n];
+    let mut decision_rounds = vec![None; config.n];
+    for i in 0..config.n {
+        if let Some(Value::Pair(value, round)) = history
+            .on_register(decision_reg(i))
+            .filter(|o| o.is_write() && o.is_complete())
+            .last()
+            .and_then(|o| o.written_value().cloned())
+        {
+            decisions[i] = Some(value);
+            decision_rounds[i] = Some(round as u64);
+        }
+    }
+    ConsensusOutcome {
+        decisions,
+        decision_rounds,
+        steps: outcome.steps,
+    }
+}
+
+/// Convenience: random binary inputs for `n` processes from a seed.
+#[must_use]
+pub fn random_inputs(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| i64::from(rng.gen_bool(0.5))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_inputs_decide_that_value_in_round_one() {
+        for value in [0i64, 1i64] {
+            let outcome = run_consensus(&ConsensusConfig::new(4, vec![value; 4]), 7);
+            assert!(outcome.all_decided(), "{outcome}");
+            assert!(outcome.agreement_holds());
+            assert_eq!(outcome.decided_value(), Some(value));
+            assert!(outcome
+                .decision_rounds
+                .iter()
+                .all(|r| *r == Some(1)));
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_terminate_and_agree() {
+        for seed in 0..10u64 {
+            let outcome = run_consensus(&ConsensusConfig::new(3, vec![0, 1, 1]), seed);
+            assert!(outcome.all_decided(), "seed {seed}: {outcome}");
+            assert!(outcome.agreement_holds(), "seed {seed}: {outcome}");
+            assert!(outcome.validity_holds(&[0, 1, 1]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn larger_ensembles_terminate() {
+        for seed in 0..4u64 {
+            let inputs = random_inputs(6, seed);
+            let outcome = run_consensus(&ConsensusConfig::new(6, inputs.clone()), seed);
+            assert!(outcome.all_decided(), "seed {seed}: {outcome}");
+            assert!(outcome.agreement_holds(), "seed {seed}");
+            assert!(outcome.validity_holds(&inputs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn validity_with_unanimous_zero() {
+        let outcome = run_consensus(&ConsensusConfig::new(5, vec![0; 5]), 11);
+        assert_eq!(outcome.decided_value(), Some(0));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = ConsensusOutcome {
+            decisions: vec![Some(1), Some(1), None],
+            decision_rounds: vec![Some(2), Some(2), None],
+            steps: 100,
+        };
+        assert!(!outcome.all_decided());
+        assert!(outcome.agreement_holds());
+        assert_eq!(outcome.decided_value(), Some(1));
+        assert!(outcome.validity_holds(&[1, 0, 1]));
+        assert!(outcome.to_string().contains("steps=100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per process")]
+    fn config_requires_matching_inputs() {
+        let _ = ConsensusConfig::new(3, vec![0, 1]);
+    }
+
+    #[test]
+    fn process_state_machine_accessors() {
+        let p = ConsensusProcess::new(3, 1);
+        assert_eq!(p.decision(), None);
+        assert_eq!(p.round(), 1);
+        assert_eq!(p.decision_round(), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! `rlt-core`: the complete public API of the *Register Linearizability and
+//! Termination* reproduction, re-exported from one crate.
+//!
+//! The workspace reproduces the systems and results of *"On Register Linearizability
+//! and Termination"* (Hadzilacos, Hu, Toueg; PODC 2021):
+//!
+//! | Area | Module | Paper artifact |
+//! |------|--------|----------------|
+//! | Histories, linearizability, strong & write-strong prefix checkers | [`spec`] | Definitions 1–5 |
+//! | Step simulator, strong adversary, interval registers (atomic / linearizable / WSL) | [`sim`] | Section 2 model |
+//! | Algorithm 2 (vector timestamps) + its on-line linearization (Algorithm 3) | [`registers`] | Theorems 10, Corollary 11 |
+//! | Algorithm 4 (Lamport clocks) and the Figure 4 counterexample | [`registers`] | Theorems 12, 13 |
+//! | ABD in message passing and the `f*` construction | [`mp`], [`spec`] | Theorem 14 |
+//! | Algorithm 1, the Theorem 6 adversary, termination statistics | [`game`] | Theorems 6, 7; Corollaries 8, 9 |
+//! | Randomized consensus (the task `T` of Corollary 9) | [`consensus`] | Corollary 9 |
+//!
+//! # Quick start
+//!
+//! ```
+//! use rlt_core::game::{run_game, GameConfig};
+//! use rlt_core::sim::RegisterMode;
+//!
+//! let cfg = GameConfig::new(4).with_max_rounds(30);
+//! // The same game, the same adversary schedule — only the register guarantee changes.
+//! assert!(!run_game(RegisterMode::Linearizable, &cfg, 7).all_returned);
+//! assert!(run_game(RegisterMode::WriteStrongLinearizable, &cfg, 7).all_returned);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Histories, linearization functions, and checkers (re-export of [`rlt_spec`]).
+pub mod spec {
+    pub use rlt_spec::*;
+}
+
+/// The deterministic concurrency substrate (re-export of [`rlt_sim`]).
+pub mod sim {
+    pub use rlt_sim::*;
+}
+
+/// The MWMR register constructions (re-export of [`rlt_registers`]).
+pub mod registers {
+    pub use rlt_registers::*;
+}
+
+/// The message-passing substrate and ABD (re-export of [`rlt_mp`]).
+pub mod mp {
+    pub use rlt_mp::*;
+}
+
+/// Algorithm 1 and the termination experiments (re-export of [`rlt_game`]).
+pub mod game {
+    pub use rlt_game::*;
+}
+
+/// The randomized consensus task substrate (re-export of [`rlt_consensus`]).
+pub mod consensus {
+    pub use rlt_consensus::*;
+}
+
+/// The most commonly used items across the whole workspace.
+pub mod prelude {
+    pub use rlt_game::prelude::*;
+    pub use rlt_sim::{RegisterMode, SharedMem};
+    pub use rlt_spec::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        use crate::prelude::*;
+        let mut b: HistoryBuilder<i64> = HistoryBuilder::new();
+        b.write(ProcessId(0), RegisterId(0), 1);
+        assert!(check_linearizable(&b.build(), &0).is_some());
+        let _ = RegisterMode::Atomic;
+    }
+}

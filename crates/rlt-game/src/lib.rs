@@ -1,0 +1,57 @@
+//! Algorithm 1 — the termination game — and every result the paper builds on it.
+//!
+//! Algorithm 1 is a game for `n ≥ 3` processes over three MWMR registers `R1`, `R2`,
+//! and `C`: two *hosts* (`p0`, `p1`) race to write `[0, j]` and `[1, j]` into `R1` each
+//! round while `p0` flips a coin into `C`; the *players* (`p2 … p_{n-1}`) stay in the
+//! game only if they manage to read `[c, j]` and then `[1-c, j]` from `R1`, where `c`
+//! is the coin value. The paper shows:
+//!
+//! * **Theorem 6** — if the registers are only *linearizable*, a strong adversary can
+//!   keep every process in the game forever: after seeing the coin it linearizes the
+//!   two concurrent writes in whichever order matches.
+//! * **Theorem 7** — if the registers are *write strongly-linearizable*, the order of
+//!   the two writes is fixed before the coin is flipped, so each round ends the game
+//!   with probability at least 1/2 and the algorithm terminates with probability 1.
+//! * **Corollary 9** — prefixing any randomized algorithm `A` with Algorithm 1 yields an
+//!   algorithm `A′` whose termination hinges on the same distinction.
+//!
+//! This crate drives the game over the interval registers of [`rlt_sim`] under the
+//! paper's exact Figure 1/2 schedule ([`algorithm1`]), provides the statistical
+//! experiments ([`termination`]), and implements the Corollary 9 wrapper around the
+//! consensus substrate of [`rlt_consensus`] ([`wrapper`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rlt_game::prelude::*;
+//! use rlt_sim::RegisterMode;
+//!
+//! // With only-linearizable registers the adversary keeps the game alive forever.
+//! let cfg = GameConfig::new(4).with_max_rounds(20);
+//! let stuck = run_game(RegisterMode::Linearizable, &cfg, 1);
+//! assert!(!stuck.all_returned);
+//!
+//! // With write strongly-linearizable registers it terminates (with probability 1).
+//! let done = run_game(RegisterMode::WriteStrongLinearizable, &cfg, 1);
+//! assert!(done.all_returned);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithm1;
+pub mod expectation;
+pub mod termination;
+pub mod wrapper;
+
+pub use algorithm1::{run_game, GameConfig, GameOutcome, RoundReport, C, R1, R2};
+pub use expectation::{expectation_comparison, expectation_experiment, ExpectationReport};
+pub use termination::{compare_modes, termination_experiment, theorem6_demo, SurvivalStats};
+pub use wrapper::{run_wrapped, WrappedOutcome};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::algorithm1::{run_game, GameConfig, GameOutcome};
+    pub use crate::termination::{termination_experiment, theorem6_demo, SurvivalStats};
+    pub use crate::wrapper::{run_wrapped, WrappedOutcome};
+}

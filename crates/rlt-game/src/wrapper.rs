@@ -1,0 +1,130 @@
+//! Corollary 9: the wrapper construction `A′ = (Algorithm 1 ; A)`.
+//!
+//! Given any randomized algorithm `A` that solves a task and terminates with probability
+//! 1 against a strong adversary, the paper constructs `A′` in which every process first
+//! plays Algorithm 1 and, only once it has returned from the game, runs `A`. The three
+//! extra registers `R1`, `R2`, `C` are the only difference between `A` and `A′`, so:
+//!
+//! * if those registers are merely linearizable, the Theorem 6 adversary keeps every
+//!   process in the game forever and `A` never even starts — `A′` does not terminate;
+//! * if they are write strongly-linearizable (or atomic), the game ends with probability
+//!   1 and `A′` inherits `A`'s termination.
+//!
+//! Here `A` is the randomized binary consensus of [`rlt_consensus`] (the paper's own
+//! canonical example of such a task).
+
+use crate::algorithm1::{run_game, GameConfig, GameOutcome};
+use rlt_consensus::{run_consensus, ConsensusConfig, ConsensusOutcome};
+use rlt_sim::RegisterMode;
+use std::fmt;
+
+/// Outcome of running the wrapped algorithm `A′`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrappedOutcome {
+    /// Outcome of the Algorithm 1 phase.
+    pub game: GameOutcome,
+    /// Outcome of the consensus phase, or `None` if the game never terminated (so the
+    /// task algorithm never ran).
+    pub consensus: Option<ConsensusOutcome>,
+}
+
+impl WrappedOutcome {
+    /// `true` if `A′` terminated: the game ended *and* every process decided.
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.game.all_returned
+            && self
+                .consensus
+                .as_ref()
+                .map(ConsensusOutcome::all_decided)
+                .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for WrappedOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.consensus {
+            Some(c) => write!(
+                f,
+                "A' terminated: game ended after round {:?}; {c}",
+                self.game.termination_round()
+            ),
+            None => write!(
+                f,
+                "A' did NOT terminate: the game was still running after {} rounds",
+                self.game.rounds_executed
+            ),
+        }
+    }
+}
+
+/// Runs `A′ = (Algorithm 1 ; consensus)` for `n` processes with the given consensus
+/// inputs, using registers of the given mode for Algorithm 1's `R1`, `R2`, `C`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != n`.
+#[must_use]
+pub fn run_wrapped(
+    mode: RegisterMode,
+    n: usize,
+    inputs: Vec<i64>,
+    max_game_rounds: u64,
+    seed: u64,
+) -> WrappedOutcome {
+    assert_eq!(inputs.len(), n, "one consensus input per process");
+    let game_config = GameConfig::new(n).with_max_rounds(max_game_rounds);
+    let game = run_game(mode, &game_config, seed);
+    let consensus = if game.all_returned {
+        Some(run_consensus(&ConsensusConfig::new(n, inputs), seed))
+    } else {
+        None
+    };
+    WrappedOutcome { game, consensus }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corollary9_wsl_registers_let_the_task_run_and_terminate() {
+        for seed in 0..5u64 {
+            let outcome = run_wrapped(
+                RegisterMode::WriteStrongLinearizable,
+                4,
+                vec![0, 1, 1, 0],
+                500,
+                seed,
+            );
+            assert!(outcome.terminated(), "seed {seed}: {outcome}");
+            let consensus = outcome.consensus.as_ref().unwrap();
+            assert!(consensus.agreement_holds());
+            assert!(consensus.validity_holds(&[0, 1, 1, 0]));
+        }
+    }
+
+    #[test]
+    fn corollary9_linearizable_registers_block_the_task_forever() {
+        for seed in 0..5u64 {
+            let outcome = run_wrapped(RegisterMode::Linearizable, 4, vec![0, 1, 1, 0], 50, seed);
+            assert!(!outcome.terminated(), "seed {seed}");
+            assert!(outcome.consensus.is_none());
+            assert!(outcome.to_string().contains("did NOT terminate"));
+        }
+    }
+
+    #[test]
+    fn corollary9_atomic_registers_also_work() {
+        let outcome = run_wrapped(RegisterMode::Atomic, 5, vec![1; 5], 500, 3);
+        assert!(outcome.terminated());
+        assert_eq!(outcome.consensus.unwrap().decided_value(), Some(1));
+    }
+
+    #[test]
+    fn display_of_terminated_outcome_mentions_the_game_round() {
+        let outcome = run_wrapped(RegisterMode::Atomic, 3, vec![0, 0, 0], 500, 8);
+        assert!(outcome.terminated());
+        assert!(outcome.to_string().contains("terminated"));
+    }
+}

@@ -1,0 +1,397 @@
+//! A deliberately broken ABD variant used as a negative control.
+//!
+//! The write-back phase of ABD's read is what makes it linearizable: without it, two
+//! sequential reads can observe "new then old" values when a write is only partially
+//! propagated. [`FaultyAbdCluster`] is ABD with the write-back removed; the experiments
+//! use it to show that the checkers of [`rlt_spec`] actually *reject* such histories —
+//! i.e. that the positive results for real ABD (experiment E8 / Theorem 14) are not
+//! vacuously true.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rlt_spec::{History, OpId, OpKind, Operation, ProcessId, RegisterId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Register id used by the faulty implementation in recorded histories.
+pub const FAULTY_REGISTER: RegisterId = RegisterId(401);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    WriteReq { seq: u64, value: i64 },
+    WriteAck { seq: u64 },
+    ReadReq { rid: u64 },
+    ReadReply { rid: u64, seq: u64, value: i64 },
+}
+
+#[derive(Debug, Clone)]
+struct Env {
+    from: ProcessId,
+    to: ProcessId,
+    msg: Msg,
+}
+
+#[derive(Debug, Clone)]
+enum Client {
+    Idle,
+    Writing { op: OpId, seq: u64, acks: BTreeSet<usize> },
+    Reading { op: OpId, rid: u64, replies: BTreeMap<usize, (u64, i64)> },
+}
+
+/// ABD without the read write-back phase: **not** linearizable.
+#[derive(Debug, Clone)]
+pub struct FaultyAbdCluster {
+    n: usize,
+    writer: ProcessId,
+    replicas: Vec<(u64, i64)>,
+    clients: Vec<Client>,
+    inflight: Vec<Env>,
+    now: u64,
+    next_op: u64,
+    next_rid: u64,
+    writer_seq: u64,
+    ops: Vec<Operation<i64>>,
+}
+
+impl FaultyAbdCluster {
+    /// Creates a cluster of `n >= 3` processes with the given writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or the writer is out of range.
+    #[must_use]
+    pub fn new(n: usize, writer: ProcessId) -> Self {
+        assert!(n >= 3, "need at least three processes");
+        assert!(writer.0 < n, "writer out of range");
+        FaultyAbdCluster {
+            n,
+            writer,
+            replicas: vec![(0, 0); n],
+            clients: vec![Client::Idle; n],
+            inflight: Vec::new(),
+            now: 0,
+            next_op: 0,
+            next_rid: 0,
+            writer_seq: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    fn tick(&mut self) -> Time {
+        self.now += 1;
+        Time(self.now)
+    }
+
+    fn broadcast(&mut self, from: ProcessId, msg: Msg) {
+        for to in 0..self.n {
+            self.inflight.push(Env {
+                from,
+                to: ProcessId(to),
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Returns `true` if `p` has no operation in progress.
+    #[must_use]
+    pub fn is_idle(&self, p: ProcessId) -> bool {
+        matches!(self.clients[p.0], Client::Idle)
+    }
+
+    /// Invokes a write of `value` by the designated writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer is busy.
+    pub fn start_write(&mut self, value: i64) -> OpId {
+        let w = self.writer;
+        assert!(self.is_idle(w), "writer busy");
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        let t = self.tick();
+        self.ops.push(Operation {
+            id: op,
+            process: w,
+            register: FAULTY_REGISTER,
+            kind: OpKind::Write(value),
+            invoked_at: t,
+            responded_at: None,
+        });
+        self.writer_seq += 1;
+        let seq = self.writer_seq;
+        self.clients[w.0] = Client::Writing {
+            op,
+            seq,
+            acks: BTreeSet::new(),
+        };
+        self.broadcast(w, Msg::WriteReq { seq, value });
+        op
+    }
+
+    /// Invokes a read by `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is busy or out of range.
+    pub fn start_read(&mut self, p: ProcessId) -> OpId {
+        assert!(p.0 < self.n, "process out of range");
+        assert!(self.is_idle(p), "process busy");
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        let t = self.tick();
+        self.ops.push(Operation {
+            id: op,
+            process: p,
+            register: FAULTY_REGISTER,
+            kind: OpKind::Read(None),
+            invoked_at: t,
+            responded_at: None,
+        });
+        self.next_rid += 1;
+        let rid = self.next_rid;
+        self.clients[p.0] = Client::Reading {
+            op,
+            rid,
+            replies: BTreeMap::new(),
+        };
+        self.broadcast(p, Msg::ReadReq { rid });
+        op
+    }
+
+    /// Number of messages in flight.
+    #[must_use]
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Delivers the in-flight message at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn deliver(&mut self, index: usize) {
+        let env = self.inflight.remove(index);
+        let to = env.to;
+        self.tick();
+        match env.msg {
+            Msg::WriteReq { seq, value } => {
+                if seq > self.replicas[to.0].0 {
+                    self.replicas[to.0] = (seq, value);
+                }
+                self.inflight.push(Env {
+                    from: to,
+                    to: env.from,
+                    msg: Msg::WriteAck { seq },
+                });
+            }
+            Msg::WriteAck { seq } => {
+                if let Client::Writing { op, seq: s, acks } = &mut self.clients[to.0] {
+                    if *s == seq {
+                        acks.insert(env.from.0);
+                        if acks.len() >= self.n / 2 + 1 {
+                            let op = *op;
+                            self.clients[to.0] = Client::Idle;
+                            self.respond(op, None);
+                        }
+                    }
+                }
+            }
+            Msg::ReadReq { rid } => {
+                let (seq, value) = self.replicas[to.0];
+                self.inflight.push(Env {
+                    from: to,
+                    to: env.from,
+                    msg: Msg::ReadReply { rid, seq, value },
+                });
+            }
+            Msg::ReadReply { rid, seq, value } => {
+                if let Client::Reading { op, rid: r, replies } = &mut self.clients[to.0] {
+                    if *r == rid {
+                        replies.insert(env.from.0, (seq, value));
+                        if replies.len() >= self.n / 2 + 1 {
+                            // FAULT: return immediately, without writing back.
+                            let (_, &(_, best_value)) =
+                                replies.iter().max_by_key(|(_, (s, _))| *s).unwrap();
+                            let op = *op;
+                            self.clients[to.0] = Client::Idle;
+                            self.respond(op, Some(best_value));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn respond(&mut self, op: OpId, read_value: Option<i64>) {
+        let t = self.tick();
+        let rec = self.ops.iter_mut().find(|o| o.id == op).unwrap();
+        rec.responded_at = Some(t);
+        if let Some(v) = read_value {
+            rec.kind = OpKind::Read(Some(v));
+        }
+    }
+
+    /// Delivers one random in-flight message; returns `false` if none exist.
+    pub fn deliver_random(&mut self, rng: &mut StdRng) -> bool {
+        if self.inflight.is_empty() {
+            return false;
+        }
+        let idx = rng.gen_range(0..self.inflight.len());
+        self.deliver(idx);
+        true
+    }
+
+    /// Delivers random messages until quiescence or the budget runs out.
+    pub fn run_to_quiescence(&mut self, rng: &mut StdRng, max: u64) -> u64 {
+        let mut count = 0;
+        while count < max && self.deliver_random(rng) {
+            count += 1;
+        }
+        count
+    }
+
+    /// The recorded register-level history.
+    #[must_use]
+    pub fn history(&self) -> History<i64> {
+        History::from_operations(self.ops.clone())
+    }
+
+    /// Builds the classic new/old inversion by adversarial delivery: a write is
+    /// propagated to a single replica (and stays pending), a first read queries a
+    /// majority *containing* that replica (so it observes the new value), and a second,
+    /// later read queries a majority *excluding* it (so it observes the old value).
+    /// With the write-back phase the first read would have repaired the gap; without
+    /// it, the history is not linearizable. Returns the recorded history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 5` (a majority excluding one specific replica needs `n ≥ 5`).
+    #[must_use]
+    pub fn new_old_inversion(n: usize) -> History<i64> {
+        assert!(n >= 5, "need n >= 5 so two disjoint-enough majorities exist");
+        let majority = n / 2 + 1;
+        let writer = ProcessId(0);
+        let mut c = FaultyAbdCluster::new(n, writer);
+
+        // The write reaches replica 1 only; it never gathers a majority of acks, so it
+        // remains pending for the rest of the run.
+        c.start_write(7);
+        let idx = c
+            .inflight
+            .iter()
+            .position(|e| matches!(e.msg, Msg::WriteReq { .. }) && e.to == ProcessId(1))
+            .expect("write request to replica 1");
+        c.deliver(idx);
+
+        // First read by p1: its queries reach a majority that includes replica 1.
+        c.start_read(ProcessId(1));
+        let mut answered = 0;
+        while answered < majority {
+            let idx = c
+                .inflight
+                .iter()
+                .position(|e| matches!(e.msg, Msg::ReadReq { rid } if rid == 1) && e.to.0 <= majority - 1)
+                .expect("read-1 request to a low-indexed replica");
+            c.deliver(idx);
+            answered += 1;
+        }
+        while let Some(idx) = c
+            .inflight
+            .iter()
+            .position(|e| matches!(e.msg, Msg::ReadReply { rid, .. } if rid == 1))
+        {
+            c.deliver(idx);
+        }
+
+        // Second read by p2 (it starts only after the first read responded): its
+        // queries reach a majority that excludes replica 1 — all of them stale.
+        c.start_read(ProcessId(2));
+        let mut answered = 0;
+        while answered < majority {
+            let idx = c
+                .inflight
+                .iter()
+                .position(|e| {
+                    matches!(e.msg, Msg::ReadReq { rid } if rid == 2) && e.to != ProcessId(1)
+                })
+                .expect("read-2 request to a replica other than replica 1");
+            c.deliver(idx);
+            answered += 1;
+        }
+        while let Some(idx) = c
+            .inflight
+            .iter()
+            .position(|e| matches!(e.msg, Msg::ReadReply { rid, .. } if rid == 2))
+        {
+            c.deliver(idx);
+        }
+        c.history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rlt_spec::check_linearizable;
+
+    #[test]
+    fn quiescent_sequential_use_still_works() {
+        // Without concurrency or adversarial delivery the faulty variant looks fine —
+        // which is exactly why a checker is needed.
+        let mut c = FaultyAbdCluster::new(3, ProcessId(0));
+        let mut rng = StdRng::seed_from_u64(1);
+        c.start_write(5);
+        c.run_to_quiescence(&mut rng, 10_000);
+        c.start_read(ProcessId(1));
+        c.run_to_quiescence(&mut rng, 10_000);
+        let h = c.history();
+        assert_eq!(h.reads().next().unwrap().read_value(), Some(&5));
+        assert!(check_linearizable(&h, &0).is_some());
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected_by_the_checker() {
+        for n in [5usize, 7, 9] {
+            let h = FaultyAbdCluster::new_old_inversion(n);
+            let r_values: Vec<i64> =
+                h.reads().filter_map(|r| r.read_value().copied()).collect();
+            // First read (by p1) sees the new value; the later read by p2 sees the old
+            // one — the classic new/old inversion the write-back phase exists to
+            // prevent.
+            assert_eq!(r_values, vec![7, 0], "n = {n}");
+            assert!(
+                check_linearizable(&h, &0).is_none(),
+                "new/old inversion must be rejected (n = {n})"
+            );
+        }
+    }
+
+    #[test]
+    fn random_schedules_eventually_exhibit_non_linearizable_histories() {
+        // Under unconstrained random delivery with overlapping reads the missing
+        // write-back shows up as a linearizability violation in at least one seed.
+        let mut violation_found = false;
+        for seed in 0..40u64 {
+            let mut c = FaultyAbdCluster::new(5, ProcessId(0));
+            let mut rng = StdRng::seed_from_u64(seed);
+            c.start_write(1);
+            for _ in 0..4 {
+                c.deliver_random(&mut rng);
+            }
+            c.start_read(ProcessId(1));
+            c.run_to_quiescence(&mut rng, 5);
+            c.start_read(ProcessId(2));
+            c.run_to_quiescence(&mut rng, 100_000);
+            if check_linearizable(&c.history(), &0).is_none() {
+                violation_found = true;
+                break;
+            }
+        }
+        assert!(
+            violation_found || {
+                // Fall back to the deterministic construction if randomness was unlucky.
+                check_linearizable(&FaultyAbdCluster::new_old_inversion(5), &0).is_none()
+            }
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Asynchronous message-passing substrate and the ABD register implementation.
+//!
+//! The paper's Section 6 (and Appendix E) shows that *every* linearizable
+//! implementation of a SWMR register is necessarily write strongly-linearizable —
+//! covering in particular the well-known ABD implementation of SWMR registers in
+//! message-passing systems, which is known not to be strongly linearizable. To exercise
+//! that result on real executions, this crate provides:
+//!
+//! * [`AbdCluster`] — a discrete-event simulation of the ABD protocol: `n` processes,
+//!   each acting as a replica and a client, communicating through messages whose
+//!   delivery order is controlled by the caller (the adversary), with crash failures of
+//!   a minority of processes.
+//! * Recorded register-level histories ready to be checked with [`rlt_spec`]:
+//!   linearizability via [`rlt_spec::check_linearizable`] and the Theorem 14 property
+//!   via [`rlt_spec::swmr::SwmrCanonical`] and
+//!   [`rlt_spec::strategy::check_write_strong_prefix_property`].
+//!
+//! # Example
+//!
+//! ```
+//! use rlt_mp::AbdCluster;
+//! use rlt_spec::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut cluster = AbdCluster::new(5, ProcessId(0));
+//! let mut rng = StdRng::seed_from_u64(1);
+//! cluster.start_write(7);
+//! cluster.run_to_quiescence(&mut rng, 10_000);
+//! cluster.start_read(ProcessId(3));
+//! cluster.run_to_quiescence(&mut rng, 10_000);
+//! let history = cluster.history();
+//! assert!(check_linearizable(&history, &0).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod abd;
+pub mod faulty;
+
+pub use abd::{AbdCluster, AbdMessage, Envelope, ABD_REGISTER};
+pub use faulty::FaultyAbdCluster;

@@ -1,0 +1,606 @@
+//! Algorithm 2: a write strongly-linearizable MWMR register built from SWMR registers,
+//! implemented as a fine-grained step simulator.
+//!
+//! Every low-level access to the SWMR registers `Val[1..n]` is a separate, atomic,
+//! timestamped step, and the scheduler (the caller) decides which process moves next —
+//! so high-level write/read operations genuinely overlap, exactly as in the paper's
+//! model. The simulator records:
+//!
+//! * the MWMR-level history (invocations/responses of `write(v)` and `read()`),
+//! * for every write, the *progress of its vector timestamp*: which component was set
+//!   to what value at what time (this is the `new_ts` variable of the paper, which is
+//!   initialized to `[∞,…,∞]` and filled in one component per step), and the time of the
+//!   write to `Val[k]` (line 8),
+//! * for every read, the timestamp attached to the value it returned.
+//!
+//! This trace is exactly the information Algorithm 3 (the on-line write
+//! strong-linearization function, [`crate::algorithm3`]) consumes.
+
+use crate::timestamp::{TsEntry, VectorTs};
+use rlt_spec::{History, OpId, OpKind, Operation, ProcessId, RegisterId, Time};
+use std::collections::BTreeMap;
+
+/// The register id used for the implemented MWMR register `R` in recorded histories.
+pub const MWMR_REGISTER: RegisterId = RegisterId(100);
+
+/// Per-write trace: how the vector timestamp was formed and when `Val[k]` was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteTrace {
+    /// The MWMR-level operation id of the write.
+    pub op: OpId,
+    /// The writing process.
+    pub process: ProcessId,
+    /// The value written to the implemented register.
+    pub value: i64,
+    /// `(component, value, time)` entries: `new_ts[component] := value` at `time`.
+    pub ts_progress: Vec<(usize, u64, Time)>,
+    /// The time of the write to `Val[k]` (line 8 of Algorithm 2), if it happened.
+    pub val_write_time: Option<Time>,
+    /// The complete timestamp written to `Val[k]`, if line 8 was reached.
+    pub final_ts: Option<VectorTs>,
+}
+
+impl WriteTrace {
+    /// The value of the writer's `new_ts` variable at time `t` (Definition of `ts^i_w`
+    /// in Algorithm 3, line 8): start from `[∞,…,∞]` and apply every component
+    /// assignment that happened at or before `t`.
+    #[must_use]
+    pub fn partial_ts_at(&self, n: usize, t: Time) -> VectorTs {
+        let mut ts = VectorTs::infinity(n);
+        for &(component, value, when) in &self.ts_progress {
+            if when <= t {
+                ts.set(component, TsEntry::Finite(value));
+            }
+        }
+        ts
+    }
+}
+
+/// The complete trace of a run of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct VectorTrace {
+    /// Number of processes (and of SWMR registers `Val[-]`).
+    pub n: usize,
+    /// The MWMR-level concurrent history of the run.
+    pub history: History<i64>,
+    /// The timestamp attached to each completed read's return value.
+    pub read_ts: BTreeMap<OpId, VectorTs>,
+    /// The per-write traces, in operation-id order.
+    pub writes: Vec<WriteTrace>,
+}
+
+impl VectorTrace {
+    /// Restricts the trace to the events at times `<= t` (the prefix `G` of the run).
+    #[must_use]
+    pub fn prefix_at(&self, t: Time) -> VectorTrace {
+        let history = self.history.prefix_at(t);
+        let read_ts = self
+            .read_ts
+            .iter()
+            .filter(|(op, _)| {
+                history
+                    .get(**op)
+                    .map(|o| o.is_complete())
+                    .unwrap_or(false)
+            })
+            .map(|(op, ts)| (*op, ts.clone()))
+            .collect();
+        let writes = self
+            .writes
+            .iter()
+            .filter(|w| history.get(w.op).is_some())
+            .map(|w| WriteTrace {
+                op: w.op,
+                process: w.process,
+                value: w.value,
+                ts_progress: w
+                    .ts_progress
+                    .iter()
+                    .copied()
+                    .filter(|&(_, _, when)| when <= t)
+                    .collect(),
+                val_write_time: w.val_write_time.filter(|&when| when <= t),
+                final_ts: if w.val_write_time.map(|when| when <= t).unwrap_or(false) {
+                    w.final_ts.clone()
+                } else {
+                    None
+                },
+            })
+            .collect();
+        VectorTrace {
+            n: self.n,
+            history,
+            read_ts,
+            writes,
+        }
+    }
+
+    /// Looks up the trace of a specific write operation.
+    #[must_use]
+    pub fn write_trace(&self, op: OpId) -> Option<&WriteTrace> {
+        self.writes.iter().find(|w| w.op == op)
+    }
+}
+
+/// What a single step of the simulator accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult {
+    /// The process had no operation in progress.
+    Idle,
+    /// The process performed one internal low-level access.
+    Progressed,
+    /// The process performed the write to `Val[k]` (line 8).
+    WroteVal,
+    /// The process completed its MWMR write operation.
+    CompletedWrite,
+    /// The process completed its MWMR read operation, returning `(value, timestamp)`.
+    CompletedRead(i64, VectorTs),
+}
+
+#[derive(Debug, Clone)]
+enum ProcState {
+    Idle,
+    Writing {
+        op: OpId,
+        value: i64,
+        new_ts: VectorTs,
+        next_component: usize,
+        wrote_val: bool,
+    },
+    Reading {
+        op: OpId,
+        next_component: usize,
+        collected: Vec<(i64, VectorTs)>,
+    },
+}
+
+/// Step simulator for Algorithm 2 over `n` processes.
+#[derive(Debug, Clone)]
+pub struct VectorSim {
+    n: usize,
+    vals: Vec<(i64, VectorTs)>,
+    now: u64,
+    next_op: u64,
+    ops: Vec<Operation<i64>>,
+    read_ts: BTreeMap<OpId, VectorTs>,
+    write_traces: BTreeMap<OpId, WriteTrace>,
+    procs: Vec<ProcState>,
+}
+
+impl VectorSim {
+    /// Creates a simulator for `n >= 2` processes; the implemented register holds `0`
+    /// initially and every `Val[i]` holds `(0, [0,…,0])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "Algorithm 2 needs at least two processes");
+        VectorSim {
+            n,
+            vals: vec![(0, VectorTs::zero(n)); n],
+            now: 0,
+            next_op: 0,
+            ops: Vec::new(),
+            read_ts: BTreeMap::new(),
+            write_traces: BTreeMap::new(),
+            procs: vec![ProcState::Idle; n],
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the process has no operation in progress.
+    #[must_use]
+    pub fn is_idle(&self, p: ProcessId) -> bool {
+        matches!(self.procs[p.0], ProcState::Idle)
+    }
+
+    /// Returns `true` if every process is idle.
+    #[must_use]
+    pub fn all_idle(&self) -> bool {
+        self.procs.iter().all(|s| matches!(s, ProcState::Idle))
+    }
+
+    fn tick(&mut self) -> Time {
+        self.now += 1;
+        Time(self.now)
+    }
+
+    fn fresh_op(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    /// Invokes a write of `value` by process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already has an operation in progress or is out of range.
+    pub fn start_write(&mut self, p: ProcessId, value: i64) -> OpId {
+        assert!(p.0 < self.n, "process {p} out of range");
+        assert!(self.is_idle(p), "process {p} already has an operation in progress");
+        let op = self.fresh_op();
+        let t = self.tick();
+        self.ops.push(Operation {
+            id: op,
+            process: p,
+            register: MWMR_REGISTER,
+            kind: OpKind::Write(value),
+            invoked_at: t,
+            responded_at: None,
+        });
+        self.write_traces.insert(
+            op,
+            WriteTrace {
+                op,
+                process: p,
+                value,
+                ts_progress: Vec::new(),
+                val_write_time: None,
+                final_ts: None,
+            },
+        );
+        self.procs[p.0] = ProcState::Writing {
+            op,
+            value,
+            new_ts: VectorTs::infinity(self.n),
+            next_component: 0,
+            wrote_val: false,
+        };
+        op
+    }
+
+    /// Invokes a read by process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already has an operation in progress or is out of range.
+    pub fn start_read(&mut self, p: ProcessId) -> OpId {
+        assert!(p.0 < self.n, "process {p} out of range");
+        assert!(self.is_idle(p), "process {p} already has an operation in progress");
+        let op = self.fresh_op();
+        let t = self.tick();
+        self.ops.push(Operation {
+            id: op,
+            process: p,
+            register: MWMR_REGISTER,
+            kind: OpKind::Read(None),
+            invoked_at: t,
+            responded_at: None,
+        });
+        self.procs[p.0] = ProcState::Reading {
+            op,
+            next_component: 0,
+            collected: Vec::new(),
+        };
+        op
+    }
+
+    /// Executes one atomic step of process `p`.
+    pub fn step(&mut self, p: ProcessId) -> StepResult {
+        let state = self.procs[p.0].clone();
+        match state {
+            ProcState::Idle => StepResult::Idle,
+            ProcState::Writing {
+                op,
+                value,
+                mut new_ts,
+                next_component,
+                wrote_val,
+            } => {
+                if next_component < self.n {
+                    // Lines 1–7: read (Val[i].ts)[i] and set new_ts[i].
+                    let t = self.tick();
+                    let observed = match self.vals[next_component].1.get(next_component) {
+                        TsEntry::Finite(v) => v,
+                        TsEntry::Infinity => unreachable!("Val[-] always holds complete timestamps"),
+                    };
+                    let assigned = if next_component == p.0 {
+                        observed + 1
+                    } else {
+                        observed
+                    };
+                    new_ts.set(next_component, TsEntry::Finite(assigned));
+                    self.write_traces
+                        .get_mut(&op)
+                        .expect("trace exists")
+                        .ts_progress
+                        .push((next_component, assigned, t));
+                    self.procs[p.0] = ProcState::Writing {
+                        op,
+                        value,
+                        new_ts,
+                        next_component: next_component + 1,
+                        wrote_val,
+                    };
+                    StepResult::Progressed
+                } else if !wrote_val {
+                    // Line 8: write (v, new_ts) into Val[k].
+                    let t = self.tick();
+                    self.vals[p.0] = (value, new_ts.clone());
+                    let trace = self.write_traces.get_mut(&op).expect("trace exists");
+                    trace.val_write_time = Some(t);
+                    trace.final_ts = Some(new_ts.clone());
+                    self.procs[p.0] = ProcState::Writing {
+                        op,
+                        value,
+                        new_ts,
+                        next_component,
+                        wrote_val: true,
+                    };
+                    StepResult::WroteVal
+                } else {
+                    // Lines 9–10: reset new_ts (implicit: the next write starts from
+                    // [∞,…,∞]) and return.
+                    let t = self.tick();
+                    let rec = self
+                        .ops
+                        .iter_mut()
+                        .find(|o| o.id == op)
+                        .expect("operation exists");
+                    rec.responded_at = Some(t);
+                    self.procs[p.0] = ProcState::Idle;
+                    StepResult::CompletedWrite
+                }
+            }
+            ProcState::Reading {
+                op,
+                next_component,
+                mut collected,
+            } => {
+                if next_component < self.n {
+                    // Lines 11–13: read Val[i].
+                    let _t = self.tick();
+                    collected.push(self.vals[next_component].clone());
+                    self.procs[p.0] = ProcState::Reading {
+                        op,
+                        next_component: next_component + 1,
+                        collected,
+                    };
+                    StepResult::Progressed
+                } else {
+                    // Lines 14–15: return the value with the lexicographically greatest
+                    // timestamp.
+                    let t = self.tick();
+                    let (value, ts) = collected
+                        .iter()
+                        .max_by(|a, b| a.1.cmp(&b.1))
+                        .cloned()
+                        .expect("collected n >= 2 values");
+                    let rec = self
+                        .ops
+                        .iter_mut()
+                        .find(|o| o.id == op)
+                        .expect("operation exists");
+                    rec.responded_at = Some(t);
+                    rec.kind = OpKind::Read(Some(value));
+                    self.read_ts.insert(op, ts.clone());
+                    self.procs[p.0] = ProcState::Idle;
+                    StepResult::CompletedRead(value, ts)
+                }
+            }
+        }
+    }
+
+    /// Steps every non-idle process in round-robin order until all are idle or the step
+    /// budget runs out. Returns the number of steps taken.
+    pub fn run_round_robin(&mut self, max_steps: u64) -> u64 {
+        let mut steps = 0;
+        while steps < max_steps && !self.all_idle() {
+            for i in 0..self.n {
+                if !self.is_idle(ProcessId(i)) {
+                    self.step(ProcessId(i));
+                    steps += 1;
+                    if steps >= max_steps {
+                        break;
+                    }
+                }
+            }
+        }
+        steps
+    }
+
+    /// Steps process `p` until its current operation (if any) completes.
+    pub fn run_to_completion(&mut self, p: ProcessId) -> StepResult {
+        let mut last = StepResult::Idle;
+        while !self.is_idle(p) {
+            last = self.step(p);
+        }
+        last
+    }
+
+    /// The current logical time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        Time(self.now)
+    }
+
+    /// The MWMR-level history recorded so far.
+    #[must_use]
+    pub fn history(&self) -> History<i64> {
+        History::from_operations(self.ops.clone())
+    }
+
+    /// The full trace (history + timestamp progress) recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> VectorTrace {
+        VectorTrace {
+            n: self.n,
+            history: self.history(),
+            read_ts: self.read_ts.clone(),
+            writes: self.write_traces.values().cloned().collect(),
+        }
+    }
+
+    /// Direct view of the current contents of `Val[i]` (for tests and diagnostics).
+    #[must_use]
+    pub fn val(&self, i: usize) -> (i64, VectorTs) {
+        self.vals[i].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlt_spec::check_linearizable;
+
+    #[test]
+    fn sequential_writes_and_reads_behave_like_a_register() {
+        let mut sim = VectorSim::new(3);
+        sim.start_write(ProcessId(0), 5);
+        sim.run_to_completion(ProcessId(0));
+        sim.start_read(ProcessId(2));
+        let result = sim.run_to_completion(ProcessId(2));
+        match result {
+            StepResult::CompletedRead(v, ts) => {
+                assert_eq!(v, 5);
+                assert!(ts.is_complete());
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        sim.start_write(ProcessId(1), 6);
+        sim.run_to_completion(ProcessId(1));
+        sim.start_read(ProcessId(2));
+        match sim.run_to_completion(ProcessId(2)) {
+            StepResult::CompletedRead(v, _) => assert_eq!(v, 6),
+            other => panic!("unexpected result {other:?}"),
+        }
+        assert!(check_linearizable(&sim.history(), &0).is_some());
+    }
+
+    #[test]
+    fn writer_timestamps_respect_causality() {
+        // A write that starts after another write completed must get a strictly larger
+        // timestamp.
+        let mut sim = VectorSim::new(3);
+        sim.start_write(ProcessId(0), 1);
+        sim.run_to_completion(ProcessId(0));
+        let ts1 = sim.val(0).1.clone();
+        sim.start_write(ProcessId(1), 2);
+        sim.run_to_completion(ProcessId(1));
+        let ts2 = sim.val(1).1.clone();
+        assert!(ts2 > ts1, "{ts2} should exceed {ts1}");
+    }
+
+    #[test]
+    fn overlapping_writes_get_distinct_timestamps() {
+        let mut sim = VectorSim::new(4);
+        sim.start_write(ProcessId(0), 10);
+        sim.start_write(ProcessId(1), 20);
+        sim.start_write(ProcessId(2), 30);
+        sim.run_round_robin(10_000);
+        let mut stamps = vec![
+            sim.val(0).1.clone(),
+            sim.val(1).1.clone(),
+            sim.val(2).1.clone(),
+        ];
+        stamps.sort();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 3, "timestamps must be pairwise distinct");
+    }
+
+    #[test]
+    fn reader_returns_maximum_timestamp_value() {
+        let mut sim = VectorSim::new(3);
+        sim.start_write(ProcessId(0), 7);
+        sim.run_to_completion(ProcessId(0));
+        sim.start_write(ProcessId(1), 8);
+        sim.run_to_completion(ProcessId(1));
+        sim.start_read(ProcessId(2));
+        match sim.run_to_completion(ProcessId(2)) {
+            StepResult::CompletedRead(v, _) => assert_eq!(v, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_run_history_is_linearizable() {
+        let mut sim = VectorSim::new(4);
+        sim.start_write(ProcessId(0), 100);
+        sim.start_write(ProcessId(1), 200);
+        sim.start_read(ProcessId(2));
+        sim.start_read(ProcessId(3));
+        // Interleave manually: a couple of steps each, then finish everyone.
+        for _ in 0..3 {
+            for p in 0..4 {
+                sim.step(ProcessId(p));
+            }
+        }
+        sim.run_round_robin(10_000);
+        assert!(sim.all_idle());
+        let h = sim.history();
+        assert_eq!(h.completed().count(), 4);
+        assert!(check_linearizable(&h, &0).is_some());
+    }
+
+    #[test]
+    fn trace_records_timestamp_progress() {
+        let mut sim = VectorSim::new(3);
+        let w = sim.start_write(ProcessId(0), 9);
+        sim.step(ProcessId(0)); // sets component 0
+        let trace = sim.trace();
+        let wt = trace.write_trace(w).unwrap();
+        assert_eq!(wt.ts_progress.len(), 1);
+        let partial = wt.partial_ts_at(3, sim.now());
+        assert_eq!(partial.get(0), TsEntry::Finite(1)); // own component incremented
+        assert!(partial.get(1).is_infinity());
+        // Finish the write: the trace now has a Val write time and a complete ts.
+        sim.run_to_completion(ProcessId(0));
+        let trace = sim.trace();
+        let wt = trace.write_trace(w).unwrap();
+        assert!(wt.val_write_time.is_some());
+        assert!(wt.final_ts.as_ref().unwrap().is_complete());
+    }
+
+    #[test]
+    fn prefix_truncates_traces_consistently() {
+        let mut sim = VectorSim::new(3);
+        let w = sim.start_write(ProcessId(0), 9);
+        sim.step(ProcessId(0));
+        let midpoint = sim.now();
+        sim.run_to_completion(ProcessId(0));
+        let full = sim.trace();
+        let prefix = full.prefix_at(midpoint);
+        let wt_full = full.write_trace(w).unwrap();
+        let wt_prefix = prefix.write_trace(w).unwrap();
+        assert!(wt_full.val_write_time.is_some());
+        assert!(wt_prefix.val_write_time.is_none());
+        assert!(wt_prefix.ts_progress.len() < wt_full.ts_progress.len() + 1);
+        assert!(prefix.history.get(w).unwrap().is_pending());
+    }
+
+    #[test]
+    fn read_of_initial_value_has_zero_timestamp() {
+        let mut sim = VectorSim::new(2);
+        let r = sim.start_read(ProcessId(1));
+        match sim.run_to_completion(ProcessId(1)) {
+            StepResult::CompletedRead(v, ts) => {
+                assert_eq!(v, 0);
+                assert!(ts.is_zero());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(sim.trace().read_ts.contains_key(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an operation in progress")]
+    fn cannot_start_two_operations_at_once() {
+        let mut sim = VectorSim::new(2);
+        sim.start_write(ProcessId(0), 1);
+        sim.start_read(ProcessId(0));
+    }
+
+    #[test]
+    fn stepping_an_idle_process_is_a_noop() {
+        let mut sim = VectorSim::new(2);
+        assert_eq!(sim.step(ProcessId(0)), StepResult::Idle);
+    }
+}

@@ -1,0 +1,370 @@
+//! Algorithm 3: the on-line write strong-linearization function `f` for Algorithm 2.
+//!
+//! Given a trace of Algorithm 2 (the MWMR-level history plus the timestamp-formation
+//! progress of every write), [`vector_linearization`] produces the sequential history
+//! `f(H)` exactly as the paper's Algorithm 3 does:
+//!
+//! 1. Scan the times `t_1 < t_2 < …` at which writes hit `Val[-]` (line 8 of
+//!    Algorithm 2). At each `t_i`, if the writing operation `w_i` is not yet linearized,
+//!    collect the set `C_i` of write operations active at `t_i` and not yet linearized,
+//!    evaluate each one's (possibly incomplete) timestamp `ts^i_w` at time `t_i`, keep
+//!    those with `ts^i_w ≤ ts^i_{w_i}` (the set `B_i`), and append them to the write
+//!    sequence in increasing timestamp order.
+//! 2. Place every completed read right after the write whose `(v, ts)` it returned
+//!    (reads of the initial value go before every write), ordered by invocation time.
+//!
+//! Because step 1 only ever **appends** to the write sequence and never looks past
+//! `t_i`, the resulting function satisfies the prefix property (P) of Definition 4 —
+//! this is what the Theorem 10 experiments verify on concrete runs.
+
+use crate::algorithm2::{VectorTrace, WriteTrace};
+use crate::timestamp::VectorTs;
+use rlt_spec::{OpId, Operation, SeqHistory, Time};
+use rlt_spec::strategy::LinearizationStrategy;
+use rlt_spec::History;
+use std::collections::BTreeMap;
+
+/// Runs Algorithm 3 on (a prefix of) a trace of Algorithm 2.
+///
+/// If `cut` is `Some(t)`, the linearization is computed for the prefix of the run at
+/// time `t`; otherwise for the whole trace. Returns `None` only if the trace is
+/// internally inconsistent (e.g. a read returned a `(v, ts)` that no write produced),
+/// which would indicate a bug in the simulator rather than a property violation.
+#[must_use]
+pub fn vector_linearization(trace: &VectorTrace, cut: Option<Time>) -> Option<SeqHistory<i64>> {
+    let trace = match cut {
+        Some(t) => trace.prefix_at(t),
+        None => trace.prefix_at(trace.history.max_time()),
+    };
+    let n = trace.n;
+    let history = &trace.history;
+
+    // ---- Linearization of write operations (lines 1–20 of Algorithm 3). ----
+    // The i-th event is the i-th write to Val[-], ordered by its time.
+    let mut val_writes: Vec<(&WriteTrace, Time)> = trace
+        .writes
+        .iter()
+        .filter_map(|w| w.val_write_time.map(|t| (w, t)))
+        .collect();
+    val_writes.sort_by_key(|(_, t)| *t);
+
+    let mut ws: Vec<OpId> = Vec::new();
+    for (wi, ti) in &val_writes {
+        if ws.contains(&wi.op) {
+            continue;
+        }
+        // C_i: write operations not yet linearized and active at t_i.
+        let mut candidates: Vec<(&WriteTrace, VectorTs)> = Vec::new();
+        for w in &trace.writes {
+            if ws.contains(&w.op) {
+                continue;
+            }
+            let Some(op) = history.get(w.op) else { continue };
+            if !op.is_active_at(*ti) {
+                continue;
+            }
+            let ts = w.partial_ts_at(n, *ti);
+            candidates.push((w, ts));
+        }
+        let ts_wi = wi.partial_ts_at(n, *ti);
+        // B_i: candidates whose (possibly incomplete) timestamp is <= ts^i_{w_i}.
+        let mut b_i: Vec<(&WriteTrace, VectorTs)> = candidates
+            .into_iter()
+            .filter(|(_, ts)| *ts <= ts_wi)
+            .collect();
+        // Increasing timestamp order; ties (only possible between writes that have not
+        // yet touched Val[-], hence are concurrent) are broken by operation id for
+        // determinism.
+        b_i.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.op.cmp(&b.0.op)));
+        for (w, _) in b_i {
+            ws.push(w.op);
+        }
+    }
+
+    // ---- Linearization of read operations (lines 21–32 of Algorithm 3). ----
+    // Group completed reads by the (value, timestamp) they returned.
+    let mut groups: BTreeMap<(i64, VectorTs), Vec<&Operation<i64>>> = BTreeMap::new();
+    for read in history.reads().filter(|r| r.is_complete()) {
+        let value = *read.read_value().expect("completed read has a value");
+        let ts = trace
+            .read_ts
+            .get(&read.id)
+            .cloned()
+            .unwrap_or_else(|| VectorTs::zero(n));
+        groups.entry((value, ts)).or_default().push(read);
+    }
+    for reads in groups.values_mut() {
+        reads.sort_by_key(|r| r.invoked_at);
+    }
+
+    // Assemble: zero-timestamp reads first, then writes in WS order with their reader
+    // groups attached.
+    let mut out: Vec<Operation<i64>> = Vec::new();
+    for ((value, ts), reads) in &groups {
+        if ts.is_zero() {
+            // Reads of the initial value are prepended (line 26).
+            if *value != 0 {
+                return None; // inconsistent trace
+            }
+            out.extend(reads.iter().map(|r| (*r).clone()));
+        }
+    }
+    let end_time = history.max_time().next();
+    for op_id in &ws {
+        let wt = trace.write_trace(*op_id).expect("write trace exists");
+        let mut op = history.get(*op_id).expect("write op exists").clone();
+        if op.responded_at.is_none() {
+            op.responded_at = Some(end_time);
+        }
+        out.push(op);
+        // Reads that returned this write's (value, timestamp) go right after it.
+        if let Some(final_ts) = &wt.final_ts {
+            if let Some(reads) = groups.get(&(wt.value, final_ts.clone())) {
+                out.extend(reads.iter().map(|r| (*r).clone()));
+            }
+        }
+    }
+
+    // Sanity: every completed read must have been placed.
+    let placed: Vec<OpId> = out.iter().map(|o| o.id).collect();
+    for read in history.reads().filter(|r| r.is_complete()) {
+        if !placed.contains(&read.id) {
+            return None;
+        }
+    }
+    Some(SeqHistory::from_ops(out))
+}
+
+/// [`LinearizationStrategy`] adapter for Algorithm 3 over a fixed trace.
+///
+/// `linearize(h)` interprets `h` as the prefix of the stored trace ending at
+/// `h.max_time()` — which is how the prefix-property checkers of [`rlt_spec::strategy`]
+/// enumerate prefixes.
+#[derive(Debug, Clone)]
+pub struct VectorStrategy {
+    trace: VectorTrace,
+}
+
+impl VectorStrategy {
+    /// Wraps a trace.
+    #[must_use]
+    pub fn new(trace: VectorTrace) -> Self {
+        VectorStrategy { trace }
+    }
+
+    /// The underlying trace.
+    #[must_use]
+    pub fn trace(&self) -> &VectorTrace {
+        &self.trace
+    }
+}
+
+impl LinearizationStrategy<i64> for VectorStrategy {
+    fn linearize(&self, h: &History<i64>) -> Option<SeqHistory<i64>> {
+        let cut = if h.is_empty() {
+            Time::ZERO
+        } else {
+            h.max_time()
+        };
+        vector_linearization(&self.trace, Some(cut))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm2::VectorSim;
+    use rlt_spec::strategy::{
+        check_strong_prefix_property, check_write_strong_prefix_property,
+    };
+    use rlt_spec::{check_linearizable, ProcessId};
+
+    fn assert_is_wsl(sim: &VectorSim) {
+        let trace = sim.trace();
+        let strategy = VectorStrategy::new(trace.clone());
+        let lin = vector_linearization(&trace, None).expect("Algorithm 3 must produce a result");
+        assert!(
+            lin.is_linearization_of(&trace.history, &0),
+            "Algorithm 3 output is not a linearization:\n{lin}\nof\n{}",
+            trace.history
+        );
+        check_write_strong_prefix_property(&strategy, &trace.history, &0)
+            .unwrap_or_else(|v| panic!("write-strong prefix property violated: {v}"));
+    }
+
+    #[test]
+    fn sequential_run_is_write_strongly_linearizable() {
+        let mut sim = VectorSim::new(3);
+        sim.start_write(ProcessId(0), 1);
+        sim.run_to_completion(ProcessId(0));
+        sim.start_read(ProcessId(2));
+        sim.run_to_completion(ProcessId(2));
+        sim.start_write(ProcessId(1), 2);
+        sim.run_to_completion(ProcessId(1));
+        sim.start_read(ProcessId(2));
+        sim.run_to_completion(ProcessId(2));
+        assert_is_wsl(&sim);
+    }
+
+    #[test]
+    fn concurrent_writes_are_write_strongly_linearizable() {
+        let mut sim = VectorSim::new(4);
+        sim.start_write(ProcessId(0), 10);
+        sim.start_write(ProcessId(1), 20);
+        sim.start_write(ProcessId(2), 30);
+        sim.run_round_robin(10_000);
+        sim.start_read(ProcessId(3));
+        sim.run_to_completion(ProcessId(3));
+        assert_is_wsl(&sim);
+    }
+
+    #[test]
+    fn figure3_style_interleaving_is_handled() {
+        // Reproduce the shape of Figure 3: three writes whose timestamp formation
+        // overlaps so that at the moment the middle write completes, one concurrent
+        // write will end up larger and one smaller.
+        let mut sim = VectorSim::new(3);
+        let _w1 = sim.start_write(ProcessId(0), 1);
+        let _w2 = sim.start_write(ProcessId(1), 2);
+        let _w3 = sim.start_write(ProcessId(2), 3);
+        // w1 reads component 0 only, then stalls.
+        sim.step(ProcessId(0));
+        // w3 reads components 0 and 1, then stalls.
+        sim.step(ProcessId(2));
+        sim.step(ProcessId(2));
+        // w2 runs to completion (its Val write is the first).
+        sim.run_to_completion(ProcessId(1));
+        // Now w1 and w3 finish.
+        sim.run_to_completion(ProcessId(0));
+        sim.run_to_completion(ProcessId(2));
+        // A reader observes the final state.
+        sim.start_read(ProcessId(1));
+        sim.run_to_completion(ProcessId(1));
+        assert_is_wsl(&sim);
+    }
+
+    #[test]
+    fn reads_concurrent_with_writes_are_placed_consistently() {
+        let mut sim = VectorSim::new(4);
+        sim.start_write(ProcessId(0), 5);
+        sim.start_read(ProcessId(2));
+        sim.start_read(ProcessId(3));
+        // Interleave: writer makes progress, readers race ahead.
+        sim.step(ProcessId(2));
+        sim.step(ProcessId(0));
+        sim.step(ProcessId(3));
+        sim.step(ProcessId(0));
+        sim.run_round_robin(10_000);
+        assert_is_wsl(&sim);
+    }
+
+    #[test]
+    fn algorithm3_matches_general_checker_on_many_random_runs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..15u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..5);
+            let mut sim = VectorSim::new(n);
+            let mut next_value = 1i64;
+            for _ in 0..40 {
+                let p = ProcessId(rng.gen_range(0..n));
+                if sim.is_idle(p) {
+                    if rng.gen_bool(0.5) {
+                        sim.start_write(p, next_value);
+                        next_value += 1;
+                    } else {
+                        sim.start_read(p);
+                    }
+                } else {
+                    sim.step(p);
+                }
+            }
+            sim.run_round_robin(100_000);
+            let trace = sim.trace();
+            let lin = vector_linearization(&trace, None).expect("must linearize");
+            assert!(lin.is_linearization_of(&trace.history, &0), "seed {seed}");
+            // Cross-validate with the general-purpose checker.
+            assert!(check_linearizable(&trace.history, &0).is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prefix_property_holds_on_random_runs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 100..108u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3;
+            let mut sim = VectorSim::new(n);
+            let mut next_value = 1i64;
+            for _ in 0..30 {
+                let p = ProcessId(rng.gen_range(0..n));
+                if sim.is_idle(p) {
+                    if rng.gen_bool(0.6) {
+                        sim.start_write(p, next_value);
+                        next_value += 1;
+                    } else {
+                        sim.start_read(p);
+                    }
+                } else {
+                    sim.step(p);
+                }
+            }
+            sim.run_round_robin(100_000);
+            let trace = sim.trace();
+            let strategy = VectorStrategy::new(trace.clone());
+            check_write_strong_prefix_property(&strategy, &trace.history, &0)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn empty_trace_linearizes_to_empty_sequence() {
+        let sim = VectorSim::new(2);
+        let lin = vector_linearization(&sim.trace(), None).unwrap();
+        assert!(lin.is_empty());
+    }
+
+    #[test]
+    fn reads_of_initial_value_come_first() {
+        let mut sim = VectorSim::new(3);
+        sim.start_read(ProcessId(2));
+        sim.run_to_completion(ProcessId(2));
+        sim.start_write(ProcessId(0), 1);
+        sim.run_to_completion(ProcessId(0));
+        let trace = sim.trace();
+        let lin = vector_linearization(&trace, None).unwrap();
+        assert!(lin.operations()[0].is_read());
+        assert!(lin.is_linearization_of(&trace.history, &0));
+    }
+
+    #[test]
+    fn strong_prefix_property_may_fail_even_though_write_strong_holds() {
+        // Corollary 11 background: Algorithm 2 is write strongly-linearizable but not
+        // strongly linearizable, and indeed Algorithm 3 only promises the *write*
+        // prefix property. Construct a run where a slow read completes late and is
+        // placed between two writes that were already linearized, so the full-sequence
+        // prefix property of Definition 3 fails while the write-prefix property holds.
+        let n = 3;
+        let mut sim = VectorSim::new(n);
+        // w1 completes.
+        sim.start_write(ProcessId(0), 1);
+        sim.run_to_completion(ProcessId(0));
+        // A reader collects every Val[-] (observing only w1) but does not respond yet.
+        sim.start_read(ProcessId(2));
+        for _ in 0..n {
+            sim.step(ProcessId(2));
+        }
+        // w2 completes while the read is still pending.
+        sim.start_write(ProcessId(1), 2);
+        sim.run_to_completion(ProcessId(1));
+        // The read finally responds, returning w1's value.
+        sim.run_to_completion(ProcessId(2));
+
+        let trace = sim.trace();
+        let strategy = VectorStrategy::new(trace.clone());
+        assert!(check_write_strong_prefix_property(&strategy, &trace.history, &0).is_ok());
+        assert!(check_strong_prefix_property(&strategy, &trace.history, &0).is_err());
+    }
+}

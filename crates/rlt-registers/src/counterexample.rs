@@ -1,0 +1,215 @@
+//! Theorem 13 / Figure 4: Algorithm 4 is *not* write strongly-linearizable.
+//!
+//! The proof exhibits a history `G` (two concurrent writes, one of which is still
+//! pending) and two continuations of the same run, each of which forces the two writes
+//! into the *opposite* linearization order — so no function that fixes the order of
+//! writes when `G` ends (i.e. no write strong-linearization function) can be right for
+//! both continuations. This module replays those exact executions on the
+//! [`LamportSim`] step simulator and checks the impossibility mechanically with
+//! [`rlt_spec::strong::ExtensionFamily`].
+//!
+//! Process naming: the paper uses `p1, p2, p3`; here they are `ProcessId(0..=2)`.
+
+use crate::algorithm4::LamportSim;
+use rlt_spec::strong::{ExtensionFamily, FamilyReport};
+use rlt_spec::{History, ProcessId};
+
+/// The values written by `w1`, `w2`, and `w3` in the Figure 4 executions.
+pub const V1: i64 = 10;
+/// Value written by `w2`.
+pub const V2: i64 = 20;
+/// Value written by `w3` (case 2 only).
+pub const V3: i64 = 30;
+
+/// The histories of the Theorem 13 construction and the verdict of the existential
+/// write-strong-linearizability check.
+#[derive(Debug, Clone)]
+pub struct Theorem13Outcome {
+    /// The common prefix `G`: `w1` (by `p0`) has read `Val[0]` and `Val[1]` and is still
+    /// pending; `w2` (by `p1`) has completed.
+    pub base: History<i64>,
+    /// Case 1 continuation: `w1` completes, then `p2` reads and returns `w2`'s value —
+    /// forcing `w1` *before* `w2`.
+    pub case1: History<i64>,
+    /// Case 2 continuation: `p2` writes `w3`, `w1` then completes with a larger
+    /// timestamp, and `p2`'s read returns `w1`'s value — forcing `w2` *before* `w1`.
+    pub case2: History<i64>,
+    /// The existential check over the family `{G; case1, case2}`.
+    pub report: FamilyReport<i64>,
+    /// Value returned by the case-1 read.
+    pub case1_read_value: i64,
+    /// Value returned by the case-2 read.
+    pub case2_read_value: i64,
+}
+
+impl Theorem13Outcome {
+    /// `true` iff the family admits no write strong-linearization — i.e. Theorem 13
+    /// holds on these executions.
+    #[must_use]
+    pub fn demonstrates_impossibility(&self) -> bool {
+        !self.report.admits
+    }
+}
+
+/// Builds the common prefix `G` of Figure 4 on a fresh 3-process [`LamportSim`].
+///
+/// Returns the simulator positioned exactly at the end of `G` so callers can branch into
+/// the two continuations by cloning it.
+#[must_use]
+pub fn build_base() -> LamportSim {
+    let p0 = ProcessId(0);
+    let p1 = ProcessId(1);
+    let mut sim = LamportSim::new(3);
+
+    // p0 (the paper's p1) starts w1 = write(V1) and reads Val[1] and Val[2] (paper
+    // indices); here: components 0 and 1.
+    sim.start_write(p0, V1);
+    sim.step(p0); // reads Val[0]
+    sim.step(p0); // reads Val[1]
+
+    // p1 (the paper's p2) performs the complete write w2 = write(V2).
+    sim.start_write(p1, V2);
+    sim.run_to_completion(p1);
+    sim
+}
+
+/// Continues `G` as in Case 1 of the proof: `w1` completes, then `p2` reads.
+#[must_use]
+pub fn continue_case1(mut sim: LamportSim) -> (LamportSim, i64) {
+    let p0 = ProcessId(0);
+    let p2 = ProcessId(2);
+    sim.run_to_completion(p0); // w1 reads Val[2], writes (V1, ⟨1,0⟩), returns
+    sim.start_read(p2);
+    let result = sim.run_to_completion(p2);
+    let value = match result {
+        crate::algorithm4::StepResult::CompletedRead(v, _) => v,
+        other => panic!("expected a completed read, got {other:?}"),
+    };
+    (sim, value)
+}
+
+/// Continues `G` as in Case 2 of the proof: `p2` writes `w3`, then `w1` completes (with
+/// a timestamp larger than everything else), then `p2` reads.
+#[must_use]
+pub fn continue_case2(mut sim: LamportSim) -> (LamportSim, i64) {
+    let p0 = ProcessId(0);
+    let p2 = ProcessId(2);
+    sim.start_write(p2, V3);
+    sim.run_to_completion(p2); // w3 writes (V3, ⟨2,2⟩)
+    sim.run_to_completion(p0); // w1 now reads Val[2] = ⟨2,2⟩, so it writes (V1, ⟨3,0⟩)
+    sim.start_read(p2);
+    let result = sim.run_to_completion(p2);
+    let value = match result {
+        crate::algorithm4::StepResult::CompletedRead(v, _) => v,
+        other => panic!("expected a completed read, got {other:?}"),
+    };
+    (sim, value)
+}
+
+/// Constructs the full Theorem 13 family (base `G` and both continuations) and runs the
+/// existential write-strong-linearizability check over it.
+#[must_use]
+pub fn theorem13_family() -> Theorem13Outcome {
+    let base_sim = build_base();
+    let base = base_sim.history();
+
+    let (sim1, case1_read_value) = continue_case1(base_sim.clone());
+    let (sim2, case2_read_value) = continue_case2(base_sim);
+    let case1 = sim1.history();
+    let case2 = sim2.history();
+
+    let family = ExtensionFamily::new(base.clone(), vec![case1.clone(), case2.clone()], 0i64);
+    let report = family.check_write_strong(10_000);
+    Theorem13Outcome {
+        base,
+        case1,
+        case2,
+        report,
+        case1_read_value,
+        case2_read_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlt_spec::check_linearizable;
+
+    #[test]
+    fn case1_read_returns_w2_and_case2_read_returns_w1() {
+        let outcome = theorem13_family();
+        // Case 1: the read sees (v', ⟨1,2⟩) — the value of w2.
+        assert_eq!(outcome.case1_read_value, V2);
+        // Case 2: the read sees (v, ⟨3,1⟩) — the value of w1.
+        assert_eq!(outcome.case2_read_value, V1);
+    }
+
+    #[test]
+    fn both_continuations_are_linearizable_theorem12() {
+        let outcome = theorem13_family();
+        assert!(check_linearizable(&outcome.base, &0).is_some());
+        assert!(check_linearizable(&outcome.case1, &0).is_some());
+        assert!(check_linearizable(&outcome.case2, &0).is_some());
+    }
+
+    #[test]
+    fn base_is_a_prefix_of_both_continuations() {
+        let outcome = theorem13_family();
+        assert!(outcome.base.is_prefix_of(&outcome.case1));
+        assert!(outcome.base.is_prefix_of(&outcome.case2));
+    }
+
+    #[test]
+    fn no_write_strong_linearization_exists_theorem13() {
+        let outcome = theorem13_family();
+        assert!(
+            outcome.demonstrates_impossibility(),
+            "Theorem 13 should hold: {}",
+            outcome.report
+        );
+        // Every linearization of G is contradicted by at least one continuation.
+        assert!(outcome
+            .report
+            .per_base_linearization
+            .iter()
+            .all(|blocked| blocked.is_some()));
+        // And there are linearizations of G to begin with (the check is not vacuous).
+        assert!(!outcome.report.base_linearizations.is_empty());
+    }
+
+    #[test]
+    fn each_continuation_alone_is_unproblematic() {
+        // The impossibility needs *both* continuations: each one separately admits a
+        // write-prefix-consistent linearization of G.
+        let base_sim = build_base();
+        let base = base_sim.history();
+        let (sim1, _) = continue_case1(base_sim.clone());
+        let (sim2, _) = continue_case2(base_sim);
+        let only1 = ExtensionFamily::new(base.clone(), vec![sim1.history()], 0i64)
+            .check_write_strong(10_000);
+        let only2 =
+            ExtensionFamily::new(base, vec![sim2.history()], 0i64).check_write_strong(10_000);
+        assert!(only1.admits);
+        assert!(only2.admits);
+    }
+
+    #[test]
+    fn timestamps_match_figure4() {
+        let base_sim = build_base();
+        // After G: Val[1] holds (V2, ⟨1,1⟩) (0-indexed pid), others still initial.
+        assert_eq!(base_sim.val(1).0, V2);
+        assert_eq!(base_sim.val(1).1.sq, 1);
+
+        let (sim1, _) = continue_case1(base_sim.clone());
+        // Case 1: w1 wrote (V1, ⟨1,0⟩).
+        assert_eq!(sim1.val(0).0, V1);
+        assert_eq!(sim1.val(0).1.sq, 1);
+
+        let (sim2, _) = continue_case2(base_sim);
+        // Case 2: w3 wrote (V3, ⟨2,2⟩) and w1 wrote (V1, ⟨3,0⟩).
+        assert_eq!(sim2.val(2).0, V3);
+        assert_eq!(sim2.val(2).1.sq, 2);
+        assert_eq!(sim2.val(0).0, V1);
+        assert_eq!(sim2.val(0).1.sq, 3);
+    }
+}

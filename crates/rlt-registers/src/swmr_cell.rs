@@ -1,0 +1,134 @@
+//! A single-writer multi-reader atomic cell for the threaded implementations.
+//!
+//! Both MWMR constructions are built *only* from SWMR registers `Val[1..n]`. In the
+//! threaded implementations each `Val[i]` is a [`SwmrCell`]: a lock-protected value that
+//! enforces the single-writer discipline at runtime (debug assertions) and provides the
+//! atomic read/write semantics of Section 2.1.
+
+use parking_lot::RwLock;
+use rlt_spec::ProcessId;
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared single-writer multi-reader atomic cell.
+///
+/// Cloning the handle shares the same underlying cell.
+pub struct SwmrCell<T> {
+    inner: Arc<Inner<T>>,
+}
+
+struct Inner<T> {
+    writer: ProcessId,
+    value: RwLock<T>,
+}
+
+impl<T> Clone for SwmrCell<T> {
+    fn clone(&self) -> Self {
+        SwmrCell {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SwmrCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwmrCell")
+            .field("writer", &self.inner.writer)
+            .field("value", &*self.inner.value.read())
+            .finish()
+    }
+}
+
+impl<T: Clone> SwmrCell<T> {
+    /// Creates a cell owned by `writer` with the given initial value.
+    #[must_use]
+    pub fn new(writer: ProcessId, initial: T) -> Self {
+        SwmrCell {
+            inner: Arc::new(Inner {
+                writer,
+                value: RwLock::new(initial),
+            }),
+        }
+    }
+
+    /// The process allowed to write this cell.
+    #[must_use]
+    pub fn writer(&self) -> ProcessId {
+        self.inner.writer
+    }
+
+    /// Atomically writes `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `by` is not the cell's writer (the single-writer
+    /// discipline of a SWMR register).
+    pub fn write(&self, by: ProcessId, value: T) {
+        debug_assert_eq!(
+            by, self.inner.writer,
+            "SWMR violation: {by} attempted to write a cell owned by {}",
+            self.inner.writer
+        );
+        *self.inner.value.write() = value;
+    }
+
+    /// Atomically reads the current value.
+    #[must_use]
+    pub fn read(&self) -> T {
+        self.inner.value.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_writer_many_readers() {
+        let cell = SwmrCell::new(ProcessId(0), 0u64);
+        let writer_cell = cell.clone();
+        let writer = thread::spawn(move || {
+            for v in 1..=1_000u64 {
+                writer_cell.write(ProcessId(0), v);
+            }
+        });
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let c = cell.clone();
+            readers.push(thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..1_000 {
+                    let v = c.read();
+                    // Values written are increasing, so reads must never exceed the
+                    // final value and the cell always holds something that was written.
+                    assert!(v <= 1_000);
+                    last = last.max(v);
+                }
+                last
+            }));
+        }
+        writer.join().unwrap();
+        for r in readers {
+            let _ = r.join().unwrap();
+        }
+        assert_eq!(cell.read(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SWMR violation")]
+    #[cfg(debug_assertions)]
+    fn wrong_writer_is_rejected_in_debug() {
+        let cell = SwmrCell::new(ProcessId(0), 0u64);
+        cell.write(ProcessId(1), 5);
+    }
+
+    #[test]
+    fn writer_accessor_and_clone_share_state() {
+        let cell = SwmrCell::new(ProcessId(3), 7i64);
+        assert_eq!(cell.writer(), ProcessId(3));
+        let other = cell.clone();
+        cell.write(ProcessId(3), 9);
+        assert_eq!(other.read(), 9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Real multi-threaded implementations of both MWMR constructions.
+//!
+//! The step simulators ([`crate::algorithm2`], [`crate::algorithm4`]) give full control
+//! over interleavings; these threaded versions run the very same protocols over
+//! lock-based SWMR cells under genuine OS-thread concurrency, recording every
+//! MWMR-level operation through a [`SharedRecorder`]. They are used for stress tests
+//! (the recorded histories are checked for linearizability) and for the Criterion
+//! benchmarks comparing the cost of the vector-timestamp construction (Algorithm 2)
+//! against the Lamport-clock construction (Algorithm 4).
+
+use crate::recording::SharedRecorder;
+use crate::swmr_cell::SwmrCell;
+use crate::timestamp::{LamportTs, TsEntry, VectorTs};
+use rlt_spec::{History, ProcessId, RegisterId};
+
+/// Register id used for the implemented register in recorded histories.
+pub const THREADED_REGISTER: RegisterId = RegisterId(300);
+
+/// Threaded Algorithm 2: a write strongly-linearizable MWMR register from SWMR cells.
+#[derive(Debug, Clone)]
+pub struct VectorRegister {
+    n: usize,
+    vals: Vec<SwmrCell<(i64, VectorTs)>>,
+    recorder: SharedRecorder<i64>,
+}
+
+impl VectorRegister {
+    /// Creates a register shared by `n >= 2` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "need at least two processes");
+        VectorRegister {
+            n,
+            vals: (0..n)
+                .map(|i| SwmrCell::new(ProcessId(i), (0, VectorTs::zero(n))))
+                .collect(),
+            recorder: SharedRecorder::new(),
+        }
+    }
+
+    /// Number of processes sharing the register.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Writes `value` on behalf of process `k` (lines 1–10 of Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn write(&self, k: ProcessId, value: i64) {
+        assert!(k.0 < self.n, "process {k} out of range");
+        let op = self.recorder.invoke_write(k, THREADED_REGISTER, value);
+        let mut new_ts = VectorTs::infinity(self.n);
+        for i in 0..self.n {
+            let observed = match self.vals[i].read().1.get(i) {
+                TsEntry::Finite(v) => v,
+                TsEntry::Infinity => unreachable!("Val[-] holds complete timestamps"),
+            };
+            let assigned = if i == k.0 { observed + 1 } else { observed };
+            new_ts.set(i, TsEntry::Finite(assigned));
+        }
+        self.vals[k.0].write(k, (value, new_ts));
+        self.recorder.respond_write(op);
+    }
+
+    /// Reads the register on behalf of process `p` (lines 11–15 of Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn read(&self, p: ProcessId) -> i64 {
+        assert!(p.0 < self.n, "process {p} out of range");
+        let op = self.recorder.invoke_read(p, THREADED_REGISTER);
+        let mut best: Option<(i64, VectorTs)> = None;
+        for i in 0..self.n {
+            let (v, ts) = self.vals[i].read();
+            if best.as_ref().map(|(_, b)| ts > *b).unwrap_or(true) {
+                best = Some((v, ts));
+            }
+        }
+        let (value, _) = best.expect("n >= 2 cells");
+        self.recorder.respond_read(op, value);
+        value
+    }
+
+    /// The recorded MWMR-level history.
+    #[must_use]
+    pub fn history(&self) -> History<i64> {
+        self.recorder.history()
+    }
+}
+
+/// Threaded Algorithm 4: a linearizable (but not write strongly-linearizable) MWMR
+/// register from SWMR cells using Lamport clocks.
+#[derive(Debug, Clone)]
+pub struct LamportRegister {
+    n: usize,
+    vals: Vec<SwmrCell<(i64, LamportTs)>>,
+    recorder: SharedRecorder<i64>,
+}
+
+impl LamportRegister {
+    /// Creates a register shared by `n >= 2` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "need at least two processes");
+        LamportRegister {
+            n,
+            vals: (0..n)
+                .map(|i| SwmrCell::new(ProcessId(i), (0, LamportTs::new(0, i))))
+                .collect(),
+            recorder: SharedRecorder::new(),
+        }
+    }
+
+    /// Number of processes sharing the register.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Writes `value` on behalf of process `k` (lines 1–7 of Algorithm 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn write(&self, k: ProcessId, value: i64) {
+        assert!(k.0 < self.n, "process {k} out of range");
+        let op = self.recorder.invoke_write(k, THREADED_REGISTER, value);
+        let mut max_sq = 0u64;
+        for i in 0..self.n {
+            max_sq = max_sq.max(self.vals[i].read().1.sq);
+        }
+        self.vals[k.0].write(k, (value, LamportTs::new(max_sq + 1, k.0)));
+        self.recorder.respond_write(op);
+    }
+
+    /// Reads the register on behalf of process `p` (lines 8–12 of Algorithm 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn read(&self, p: ProcessId) -> i64 {
+        assert!(p.0 < self.n, "process {p} out of range");
+        let op = self.recorder.invoke_read(p, THREADED_REGISTER);
+        let mut best: Option<(i64, LamportTs)> = None;
+        for i in 0..self.n {
+            let (v, ts) = self.vals[i].read();
+            if best.map(|(_, b)| ts > b).unwrap_or(true) {
+                best = Some((v, ts));
+            }
+        }
+        let (value, _) = best.expect("n >= 2 cells");
+        self.recorder.respond_read(op, value);
+        value
+    }
+
+    /// The recorded MWMR-level history.
+    #[must_use]
+    pub fn history(&self) -> History<i64> {
+        self.recorder.history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlt_spec::check_linearizable;
+    use std::thread;
+
+    #[test]
+    fn vector_register_sequential_semantics() {
+        let reg = VectorRegister::new(3);
+        assert_eq!(reg.read(ProcessId(2)), 0);
+        reg.write(ProcessId(0), 5);
+        assert_eq!(reg.read(ProcessId(2)), 5);
+        reg.write(ProcessId(1), 6);
+        assert_eq!(reg.read(ProcessId(2)), 6);
+        assert!(check_linearizable(&reg.history(), &0).is_some());
+    }
+
+    #[test]
+    fn lamport_register_sequential_semantics() {
+        let reg = LamportRegister::new(3);
+        assert_eq!(reg.read(ProcessId(2)), 0);
+        reg.write(ProcessId(0), 5);
+        assert_eq!(reg.read(ProcessId(2)), 5);
+        reg.write(ProcessId(1), 6);
+        assert_eq!(reg.read(ProcessId(2)), 6);
+        assert!(check_linearizable(&reg.history(), &0).is_some());
+    }
+
+    #[test]
+    fn vector_register_concurrent_history_is_linearizable() {
+        let reg = VectorRegister::new(4);
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let r = reg.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..3 {
+                    if t % 2 == 0 {
+                        r.write(ProcessId(t), (t * 10 + i) as i64 + 1);
+                    } else {
+                        let _ = r.read(ProcessId(t));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let history = reg.history();
+        assert_eq!(history.len(), 12);
+        assert!(
+            check_linearizable(&history, &0).is_some(),
+            "threaded Algorithm 2 produced a non-linearizable history:\n{history}"
+        );
+    }
+
+    #[test]
+    fn lamport_register_concurrent_history_is_linearizable() {
+        let reg = LamportRegister::new(4);
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let r = reg.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..3 {
+                    if t % 2 == 0 {
+                        r.write(ProcessId(t), (t * 10 + i) as i64 + 1);
+                    } else {
+                        let _ = r.read(ProcessId(t));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let history = reg.history();
+        assert_eq!(history.len(), 12);
+        assert!(
+            check_linearizable(&history, &0).is_some(),
+            "threaded Algorithm 4 produced a non-linearizable history:\n{history}"
+        );
+    }
+
+    #[test]
+    fn writes_by_all_processes_are_visible() {
+        let reg = VectorRegister::new(3);
+        reg.write(ProcessId(0), 1);
+        reg.write(ProcessId(1), 2);
+        reg.write(ProcessId(2), 3);
+        // The last write (causally after the others) must win.
+        assert_eq!(reg.read(ProcessId(0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_process_is_rejected() {
+        let reg = LamportRegister::new(2);
+        reg.write(ProcessId(5), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Seeded, logged coin flips.
+//!
+//! A *strong adversary* observes the outcome of every coin flip as soon as it happens
+//! and may base all future scheduling decisions on it. To make that power explicit (and
+//! every run reproducible), coin flips are drawn from a seeded PRNG and appended to a
+//! log the adversary can inspect.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlt_spec::ProcessId;
+
+/// A single recorded coin flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipRecord {
+    /// The process that flipped the coin.
+    pub process: ProcessId,
+    /// The outcome (`false` = 0, `true` = 1).
+    pub outcome: bool,
+    /// Sequence number of the flip (0-based).
+    pub index: u64,
+}
+
+/// A seeded source of fair coin flips with a full log of outcomes.
+#[derive(Debug)]
+pub struct CoinSource {
+    rng: StdRng,
+    log: Vec<FlipRecord>,
+}
+
+impl CoinSource {
+    /// Creates a coin source from a seed; equal seeds yield equal flip sequences.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CoinSource {
+            rng: StdRng::seed_from_u64(seed),
+            log: Vec::new(),
+        }
+    }
+
+    /// Flips a fair coin on behalf of `process`, records it, and returns the outcome.
+    pub fn flip(&mut self, process: ProcessId) -> bool {
+        let outcome = self.rng.gen_bool(0.5);
+        let index = self.log.len() as u64;
+        self.log.push(FlipRecord {
+            process,
+            outcome,
+            index,
+        });
+        outcome
+    }
+
+    /// The log of all flips so far, in order. A strong adversary reads this freely.
+    #[must_use]
+    pub fn log(&self) -> &[FlipRecord] {
+        &self.log
+    }
+
+    /// Outcome of the most recent flip, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<bool> {
+        self.log.last().map(|f| f.outcome)
+    }
+
+    /// Total number of flips performed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.log.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = CoinSource::new(42);
+        let mut b = CoinSource::new(42);
+        let fa: Vec<bool> = (0..64).map(|_| a.flip(ProcessId(0))).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.flip(ProcessId(0))).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let mut a = CoinSource::new(1);
+        let mut b = CoinSource::new(2);
+        let fa: Vec<bool> = (0..128).map(|_| a.flip(ProcessId(0))).collect();
+        let fb: Vec<bool> = (0..128).map(|_| b.flip(ProcessId(0))).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn log_records_process_and_index() {
+        let mut c = CoinSource::new(7);
+        let o1 = c.flip(ProcessId(0));
+        let o2 = c.flip(ProcessId(3));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.log()[0].process, ProcessId(0));
+        assert_eq!(c.log()[1].process, ProcessId(3));
+        assert_eq!(c.log()[0].outcome, o1);
+        assert_eq!(c.log()[1].outcome, o2);
+        assert_eq!(c.log()[1].index, 1);
+        assert_eq!(c.last(), Some(o2));
+    }
+
+    #[test]
+    fn flips_are_roughly_fair() {
+        let mut c = CoinSource::new(1234);
+        let heads = (0..10_000).filter(|_| c.flip(ProcessId(0))).count();
+        assert!((3_500..=6_500).contains(&heads), "heads = {heads}");
+    }
+}

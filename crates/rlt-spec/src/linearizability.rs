@@ -1,0 +1,495 @@
+//! A linearizability checker for (multi-)register histories.
+//!
+//! The checker performs a Wing–Gong style backtracking search specialized to the
+//! register sequential specification: it tries to build a linearization order
+//! incrementally, always picking a real-time-minimal remaining operation, simulating the
+//! register state, and memoizing visited configurations. Pending writes may be
+//! linearized or dropped; pending reads are dropped (they impose no constraint on any
+//! other operation because a pending operation never *precedes* another operation).
+
+use crate::history::History;
+use crate::ids::RegisterId;
+use crate::op::{OpKind, Operation};
+use crate::sequential::SeqHistory;
+use crate::value::RegisterValue;
+use std::collections::{BTreeMap, HashSet};
+
+/// Statistics and outcome of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearizabilityReport<V> {
+    /// A witness linearization if one exists.
+    pub witness: Option<SeqHistory<V>>,
+    /// Number of search states explored.
+    pub states_explored: u64,
+    /// Number of states pruned by memoization.
+    pub states_memoized: u64,
+}
+
+impl<V> LinearizabilityReport<V> {
+    /// Returns `true` if the history was found to be linearizable.
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+struct Searcher<'a, V> {
+    ops: Vec<&'a Operation<V>>,
+    init: &'a V,
+    visited: HashSet<(Vec<bool>, Vec<(RegisterId, V)>)>,
+    states_explored: u64,
+    states_memoized: u64,
+    /// Hard cap on explored states so adversarially large histories fail loudly instead
+    /// of hanging; test-scale histories stay far below it.
+    state_limit: u64,
+}
+
+impl<'a, V: RegisterValue> Searcher<'a, V> {
+    fn new(history: &'a History<V>, init: &'a V, state_limit: u64) -> Self {
+        // Keep completed operations and pending writes; drop pending reads.
+        let ops: Vec<&Operation<V>> = history
+            .operations()
+            .iter()
+            .filter(|o| o.is_complete() || o.is_write())
+            .collect();
+        Searcher {
+            ops,
+            init,
+            visited: HashSet::new(),
+            states_explored: 0,
+            states_memoized: 0,
+            state_limit,
+        }
+    }
+
+    fn search(
+        &mut self,
+        taken: &mut Vec<bool>,
+        state: &mut BTreeMap<RegisterId, V>,
+        order: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        self.states_explored += 1;
+        if self.states_explored > self.state_limit {
+            return None;
+        }
+        // Success: every completed operation has been linearized.
+        if self
+            .ops
+            .iter()
+            .enumerate()
+            .all(|(i, o)| taken[i] || o.is_pending())
+        {
+            return Some(order.clone());
+        }
+
+        let memo_key = (
+            taken.clone(),
+            state
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect::<Vec<_>>(),
+        );
+        if !self.visited.insert(memo_key) {
+            self.states_memoized += 1;
+            return None;
+        }
+
+        // Candidate operations: not yet taken and real-time minimal among remaining.
+        let candidate_idxs: Vec<usize> = (0..self.ops.len())
+            .filter(|&i| !taken[i])
+            .filter(|&i| {
+                let oi = self.ops[i];
+                (0..self.ops.len())
+                    .filter(|&j| j != i && !taken[j])
+                    .all(|j| !self.ops[j].precedes(oi))
+            })
+            .collect();
+
+        for i in candidate_idxs {
+            let op = self.ops[i];
+            match &op.kind {
+                OpKind::Write(v) => {
+                    let prev = state.insert(op.register, v.clone());
+                    taken[i] = true;
+                    order.push(i);
+                    if let Some(found) = self.search(taken, state, order) {
+                        return Some(found);
+                    }
+                    order.pop();
+                    taken[i] = false;
+                    match prev {
+                        Some(p) => {
+                            state.insert(op.register, p);
+                        }
+                        None => {
+                            state.remove(&op.register);
+                        }
+                    }
+                }
+                OpKind::Read(Some(v)) => {
+                    let current = state.get(&op.register).unwrap_or(self.init);
+                    if current == v {
+                        taken[i] = true;
+                        order.push(i);
+                        if let Some(found) = self.search(taken, state, order) {
+                            return Some(found);
+                        }
+                        order.pop();
+                        taken[i] = false;
+                    }
+                }
+                OpKind::Read(None) => unreachable!("pending reads are filtered out"),
+            }
+        }
+        None
+    }
+}
+
+/// Default cap on the number of search states explored by [`check_linearizable`].
+pub const DEFAULT_STATE_LIMIT: u64 = 20_000_000;
+
+/// Checks whether `history` is linearizable with respect to the register type with
+/// initial value `init`, returning a witness linearization if so.
+///
+/// Histories spanning several registers are handled directly (the register objects are
+/// independent, so this is equivalent to checking each register separately while merging
+/// the real-time constraints).
+///
+/// # Example
+///
+/// ```
+/// use rlt_spec::prelude::*;
+///
+/// let mut b = HistoryBuilder::new();
+/// let w = b.write(ProcessId(0), RegisterId(0), 1i64);
+/// let r = b.read(ProcessId(1), RegisterId(0), 0i64); // reads stale value after write completed
+/// let h = b.build();
+/// assert!(check_linearizable(&h, &0i64).is_none());
+/// let _ = (w, r);
+/// ```
+#[must_use]
+pub fn check_linearizable<V: RegisterValue>(history: &History<V>, init: &V) -> Option<SeqHistory<V>> {
+    check_linearizable_report(history, init, DEFAULT_STATE_LIMIT).witness
+}
+
+/// Like [`check_linearizable`] but returns search statistics and allows customizing the
+/// state-exploration cap.
+#[must_use]
+pub fn check_linearizable_report<V: RegisterValue>(
+    history: &History<V>,
+    init: &V,
+    state_limit: u64,
+) -> LinearizabilityReport<V> {
+    let mut searcher = Searcher::new(history, init, state_limit);
+    let n = searcher.ops.len();
+    let mut taken = vec![false; n];
+    let mut state = BTreeMap::new();
+    let mut order = Vec::new();
+    let result = searcher.search(&mut taken, &mut state, &mut order);
+    let witness = result.map(|order| {
+        let ops = order
+            .iter()
+            .map(|&i| {
+                let mut op = searcher.ops[i].clone();
+                // Give linearized pending operations a matching response so the
+                // sequential history is well-formed.
+                if op.responded_at.is_none() {
+                    op.responded_at = Some(history.max_time().next());
+                }
+                op
+            })
+            .collect();
+        SeqHistory::from_ops(ops)
+    });
+    LinearizabilityReport {
+        witness,
+        states_explored: searcher.states_explored,
+        states_memoized: searcher.states_memoized,
+    }
+}
+
+/// Enumerates **all** linearizations of `history` (up to the given limit on how many to
+/// return). Used by the existential write-strong-linearizability checks of
+/// [`crate::strong`], which must quantify over every possible linearization of a prefix.
+#[must_use]
+pub fn enumerate_linearizations<V: RegisterValue>(
+    history: &History<V>,
+    init: &V,
+    max_results: usize,
+) -> Vec<SeqHistory<V>> {
+    let ops: Vec<&Operation<V>> = history
+        .operations()
+        .iter()
+        .filter(|o| o.is_complete() || o.is_write())
+        .collect();
+    let mut results = Vec::new();
+    let mut taken = vec![false; ops.len()];
+    let mut state: BTreeMap<RegisterId, V> = BTreeMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    enumerate_rec(
+        &ops,
+        init,
+        &mut taken,
+        &mut state,
+        &mut order,
+        &mut results,
+        max_results,
+    );
+    results
+        .into_iter()
+        .map(|order| {
+            let seq_ops = order
+                .iter()
+                .map(|&i| {
+                    let mut op = ops[i].clone();
+                    if op.responded_at.is_none() {
+                        op.responded_at = Some(history.max_time().next());
+                    }
+                    op
+                })
+                .collect();
+            SeqHistory::from_ops(seq_ops)
+        })
+        .collect()
+}
+
+fn enumerate_rec<V: RegisterValue>(
+    ops: &[&Operation<V>],
+    init: &V,
+    taken: &mut Vec<bool>,
+    state: &mut BTreeMap<RegisterId, V>,
+    order: &mut Vec<usize>,
+    results: &mut Vec<Vec<usize>>,
+    max_results: usize,
+) {
+    if results.len() >= max_results {
+        return;
+    }
+    if ops
+        .iter()
+        .enumerate()
+        .all(|(i, o)| taken[i] || o.is_pending())
+    {
+        results.push(order.clone());
+        // Keep exploring: linearizations that additionally include pending writes are
+        // distinct and also valid, and are generated by the recursive calls below.
+    }
+    let candidate_idxs: Vec<usize> = (0..ops.len())
+        .filter(|&i| !taken[i])
+        .filter(|&i| {
+            (0..ops.len())
+                .filter(|&j| j != i && !taken[j])
+                .all(|j| !ops[j].precedes(ops[i]))
+        })
+        .collect();
+    for i in candidate_idxs {
+        let op = ops[i];
+        match &op.kind {
+            OpKind::Write(v) => {
+                let prev = state.insert(op.register, v.clone());
+                taken[i] = true;
+                order.push(i);
+                enumerate_rec(ops, init, taken, state, order, results, max_results);
+                order.pop();
+                taken[i] = false;
+                match prev {
+                    Some(p) => {
+                        state.insert(op.register, p);
+                    }
+                    None => {
+                        state.remove(&op.register);
+                    }
+                }
+            }
+            OpKind::Read(Some(v)) => {
+                let current = state.get(&op.register).unwrap_or(init);
+                if current == v {
+                    taken[i] = true;
+                    order.push(i);
+                    enumerate_rec(ops, init, taken, state, order, results, max_results);
+                    order.pop();
+                    taken[i] = false;
+                }
+            }
+            OpKind::Read(None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{OpId, ProcessId};
+
+    const R: RegisterId = RegisterId(0);
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.read(ProcessId(1), R, 1i64);
+        b.write(ProcessId(0), R, 2i64);
+        b.read(ProcessId(1), R, 2i64);
+        let h = b.build();
+        let witness = check_linearizable(&h, &0).expect("should be linearizable");
+        assert!(witness.is_linearization_of(&h, &0));
+    }
+
+    #[test]
+    fn stale_read_after_write_is_not_linearizable() {
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.read(ProcessId(1), R, 0i64);
+        let h = b.build();
+        assert!(check_linearizable(&h, &0).is_none());
+    }
+
+    #[test]
+    fn concurrent_write_allows_either_read_value() {
+        // Write of 1 concurrent with a read: the read may return 0 or 1.
+        for read_val in [0i64, 1i64] {
+            let mut b = HistoryBuilder::new();
+            let w = b.invoke_write(ProcessId(0), R, 1i64);
+            let r = b.invoke_read(ProcessId(1), R);
+            b.respond_read(r, read_val);
+            b.respond_write(w);
+            let h = b.build();
+            assert!(
+                check_linearizable(&h, &0).is_some(),
+                "read of {read_val} should be allowed"
+            );
+        }
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Classic non-linearizable pattern: r1 reads the new value, then a later
+        // (non-overlapping) r2 reads the old value, while the write has completed
+        // before both reads... build it so the write completes first.
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.read(ProcessId(1), R, 1i64);
+        b.read(ProcessId(2), R, 0i64);
+        let h = b.build();
+        assert!(check_linearizable(&h, &0).is_none());
+    }
+
+    #[test]
+    fn pending_write_can_explain_read() {
+        // A write that never responds can still be linearized to justify a read.
+        let mut b = HistoryBuilder::new();
+        let _w = b.invoke_write(ProcessId(0), R, 7i64);
+        b.read(ProcessId(1), R, 7i64);
+        let h = b.build();
+        let witness = check_linearizable(&h, &0).expect("pending write should justify read");
+        assert_eq!(witness.writes().len(), 1);
+    }
+
+    #[test]
+    fn pending_write_may_also_be_dropped() {
+        let mut b = HistoryBuilder::new();
+        let _w = b.invoke_write(ProcessId(0), R, 7i64);
+        b.read(ProcessId(1), R, 0i64);
+        let h = b.build();
+        assert!(check_linearizable(&h, &0).is_some());
+    }
+
+    #[test]
+    fn multi_register_histories_are_checked_jointly() {
+        let r1 = RegisterId(1);
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.write(ProcessId(0), r1, 2i64);
+        b.read(ProcessId(1), R, 1i64);
+        b.read(ProcessId(1), r1, 2i64);
+        let h = b.build();
+        assert!(check_linearizable(&h, &0).is_some());
+
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.read(ProcessId(1), r1, 1i64); // wrong register never written
+        let h = b.build();
+        assert!(check_linearizable(&h, &0).is_none());
+    }
+
+    #[test]
+    fn the_paper_theorem6_pattern_is_linearizable() {
+        // The key step of the Theorem 6 adversary: p0 writes [0,1], p1's write of [1,1]
+        // overlaps all the players' reads; players read [0,1] then [1,1]. This must be
+        // accepted by plain linearizability.
+        use crate::value::Value;
+        let mut b = HistoryBuilder::new();
+        let w0 = b.invoke_write(ProcessId(0), R, Value::Pair(0, 1));
+        let w1 = b.invoke_write(ProcessId(1), R, Value::Pair(1, 1));
+        let r1a = b.invoke_read(ProcessId(2), R);
+        b.respond_write(w0);
+        b.respond_read(r1a, Value::Pair(0, 1));
+        let r1b = b.invoke_read(ProcessId(2), R);
+        b.respond_read(r1b, Value::Pair(1, 1));
+        b.respond_write(w1);
+        let h = b.build();
+        assert!(check_linearizable(&h, &Value::Init).is_some());
+    }
+
+    #[test]
+    fn report_exposes_statistics() {
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        let h = b.build();
+        let report = check_linearizable_report(&h, &0, DEFAULT_STATE_LIMIT);
+        assert!(report.is_linearizable());
+        assert!(report.states_explored >= 1);
+    }
+
+    #[test]
+    fn enumerate_finds_both_orders_of_concurrent_writes() {
+        let mut b = HistoryBuilder::new();
+        let w0 = b.invoke_write(ProcessId(0), R, 1i64);
+        let w1 = b.invoke_write(ProcessId(1), R, 2i64);
+        b.respond_write(w0);
+        b.respond_write(w1);
+        let h = b.build();
+        let all = enumerate_linearizations(&h, &0, 100);
+        // Both interleavings of the two concurrent writes must appear.
+        let orders: Vec<Vec<OpId>> = all.iter().map(|s| s.write_ids()).collect();
+        assert!(orders.contains(&vec![OpId(0), OpId(1)]));
+        assert!(orders.contains(&vec![OpId(1), OpId(0)]));
+    }
+
+    #[test]
+    fn enumerate_respects_real_time_order() {
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.write(ProcessId(0), R, 2i64);
+        let h = b.build();
+        let all = enumerate_linearizations(&h, &0, 100);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].write_ids(), vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<i64> = History::new();
+        let witness = check_linearizable(&h, &0).unwrap();
+        assert!(witness.is_empty());
+    }
+
+    #[test]
+    fn every_witness_is_a_valid_linearization() {
+        // A moderately concurrent history; whatever witness comes back must satisfy the
+        // full Definition 2 check.
+        let mut b = HistoryBuilder::new();
+        let w0 = b.invoke_write(ProcessId(0), R, 10i64);
+        let w1 = b.invoke_write(ProcessId(1), R, 20i64);
+        let r0 = b.invoke_read(ProcessId(2), R);
+        b.respond_write(w0);
+        b.respond_read(r0, 20i64);
+        let r1 = b.invoke_read(ProcessId(3), R);
+        b.respond_write(w1);
+        b.respond_read(r1, 20i64);
+        let h = b.build();
+        let witness = check_linearizable(&h, &0).expect("linearizable");
+        assert!(witness.is_linearization_of(&h, &0));
+    }
+}

@@ -1,0 +1,366 @@
+//! Linearization *strategies* and prefix-property checkers (Definitions 3 and 4).
+//!
+//! A linearization function `f` maps each history `H` of an implementation to a
+//! sequential history `f(H)`. Strong linearizability (Definition 3) additionally
+//! requires that `f(G)` is a prefix of `f(H)` whenever `G` is a prefix of `H`; write
+//! strong-linearizability (Definition 4) requires this only of the subsequence of write
+//! operations. This module checks those prefix properties for a concrete strategy over
+//! all prefixes of a given history.
+
+use crate::history::History;
+use crate::ids::{OpId, Time};
+use crate::sequential::SeqHistory;
+use crate::value::RegisterValue;
+use std::fmt;
+
+/// A deterministic mapping from histories to sequential histories — the executable
+/// counterpart of a linearization function `f`.
+pub trait LinearizationStrategy<V> {
+    /// Produces the linearization of `h`, or `None` if the strategy cannot linearize it
+    /// (which itself disproves that the strategy is a linearization function for the
+    /// history set containing `h`).
+    fn linearize(&self, h: &History<V>) -> Option<SeqHistory<V>>;
+}
+
+impl<V, F> LinearizationStrategy<V> for F
+where
+    F: Fn(&History<V>) -> Option<SeqHistory<V>>,
+{
+    fn linearize(&self, h: &History<V>) -> Option<SeqHistory<V>> {
+        self(h)
+    }
+}
+
+/// A violation of property (L) or (P) found while checking a strategy over the prefixes
+/// of a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixViolation {
+    /// The cut-off time of the prefix `G` at which the violation was detected.
+    pub prefix_time: Time,
+    /// Human-readable description of what went wrong.
+    pub reason: String,
+    /// The (write) sequence produced for the prefix.
+    pub prefix_sequence: Vec<OpId>,
+    /// The (write) sequence produced for the extension.
+    pub extension_sequence: Vec<OpId>,
+}
+
+impl fmt::Display for PrefixViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prefix property violated at {}: {} (prefix sequence {:?}, extension sequence {:?})",
+            self.prefix_time, self.reason, self.prefix_sequence, self.extension_sequence
+        )
+    }
+}
+
+/// Checks that `strategy` behaves as a **write strong-linearization function**
+/// (Definition 4) across every prefix of `history`:
+///
+/// * property (L): `f(G)` is a valid linearization of each prefix `G`;
+/// * property (P): the write sequence of `f(G)` is a prefix of the write sequence of
+///   `f(G')` for consecutive prefixes `G ⊑ G'` (and hence, by transitivity, for every
+///   pair of prefixes).
+///
+/// Returns `Ok(())` or the first violation found.
+pub fn check_write_strong_prefix_property<V: RegisterValue>(
+    strategy: &dyn LinearizationStrategy<V>,
+    history: &History<V>,
+    init: &V,
+) -> Result<(), PrefixViolation> {
+    check_prefix_property(strategy, history, init, PrefixMode::WritesOnly)
+}
+
+/// Checks that `strategy` behaves as a **strong linearization function** (Definition 3)
+/// across every prefix of `history`: property (L) plus the prefix property over the
+/// *entire* operation sequence.
+pub fn check_strong_prefix_property<V: RegisterValue>(
+    strategy: &dyn LinearizationStrategy<V>,
+    history: &History<V>,
+    init: &V,
+) -> Result<(), PrefixViolation> {
+    check_prefix_property(strategy, history, init, PrefixMode::AllOperations)
+}
+
+/// Checks the paper's generalized notion (Section 7): **strong linearizability with
+/// respect to a subset of operations `O`** — the prefix property is required only of the
+/// subsequence of operations selected by `in_subset`.
+///
+/// `check_write_strong_prefix_property` is the special case where `in_subset` selects
+/// the write operations; `check_strong_prefix_property` is the special case where it
+/// selects everything.
+pub fn check_subset_strong_prefix_property<V: RegisterValue>(
+    strategy: &dyn LinearizationStrategy<V>,
+    history: &History<V>,
+    init: &V,
+    in_subset: &dyn Fn(&crate::op::Operation<V>) -> bool,
+) -> Result<(), PrefixViolation> {
+    check_prefix_property(strategy, history, init, PrefixMode::Subset(in_subset))
+}
+
+enum PrefixMode<'a, V> {
+    WritesOnly,
+    AllOperations,
+    Subset(&'a dyn Fn(&crate::op::Operation<V>) -> bool),
+}
+
+impl<V> PrefixMode<'_, V> {
+    fn project(&self, seq: &SeqHistory<V>) -> Vec<OpId>
+    where
+        V: RegisterValue,
+    {
+        match self {
+            PrefixMode::WritesOnly => seq.write_ids(),
+            PrefixMode::AllOperations => seq.op_ids(),
+            PrefixMode::Subset(select) => seq
+                .operations()
+                .iter()
+                .filter(|o| select(o))
+                .map(|o| o.id)
+                .collect(),
+        }
+    }
+}
+
+fn check_prefix_property<V: RegisterValue>(
+    strategy: &dyn LinearizationStrategy<V>,
+    history: &History<V>,
+    init: &V,
+    mode: PrefixMode<'_, V>,
+) -> Result<(), PrefixViolation> {
+    let mut times = history.event_times();
+    times.insert(0, Time::ZERO);
+    let mut prev: Option<(Time, SeqHistory<V>)> = None;
+    for t in times {
+        let prefix = history.prefix_at(t);
+        let Some(seq) = strategy.linearize(&prefix) else {
+            return Err(PrefixViolation {
+                prefix_time: t,
+                reason: "strategy failed to linearize the prefix (property L violated)"
+                    .to_string(),
+                prefix_sequence: Vec::new(),
+                extension_sequence: Vec::new(),
+            });
+        };
+        if !seq.is_linearization_of(&prefix, init) {
+            return Err(PrefixViolation {
+                prefix_time: t,
+                reason: "strategy output is not a valid linearization of the prefix \
+                         (property L violated)"
+                    .to_string(),
+                prefix_sequence: seq.op_ids(),
+                extension_sequence: Vec::new(),
+            });
+        }
+        if let Some((pt, prev_seq)) = &prev {
+            let a = mode.project(prev_seq);
+            let b = mode.project(&seq);
+            let ok = a.len() <= b.len() && a == b[..a.len()];
+            if !ok {
+                return Err(PrefixViolation {
+                    prefix_time: *pt,
+                    reason: match mode {
+                        PrefixMode::WritesOnly => {
+                            "write sequence of f(G) is not a prefix of the write sequence \
+                             of f(H) (property P of Definition 4 violated)"
+                        }
+                        PrefixMode::AllOperations => {
+                            "f(G) is not a prefix of f(H) (property P of Definition 3 violated)"
+                        }
+                        PrefixMode::Subset(_) => {
+                            "the selected subsequence of f(G) is not a prefix of the selected \
+                             subsequence of f(H) (generalized property P violated)"
+                        }
+                    }
+                    .to_string(),
+                    prefix_sequence: a,
+                    extension_sequence: b,
+                });
+            }
+        }
+        prev = Some((t, seq));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{ProcessId, RegisterId};
+    use crate::linearizability::check_linearizable;
+
+    const R: RegisterId = RegisterId(0);
+
+    /// A strategy that linearizes writes by invocation time and reads right after the
+    /// write they observed — valid (and prefix-stable) for the simple histories below.
+    fn invocation_order_strategy(h: &History<i64>) -> Option<SeqHistory<i64>> {
+        check_linearizable(h, &0)
+    }
+
+    /// A deliberately unstable strategy: the order of two concurrent writes flips once
+    /// the history grows past 3 operations. It is a perfectly fine linearization
+    /// function for each individual history but violates the write-prefix property.
+    struct Flipper;
+
+    impl LinearizationStrategy<i64> for Flipper {
+        fn linearize(&self, h: &History<i64>) -> Option<SeqHistory<i64>> {
+            let mut writes: Vec<_> = h.writes().cloned().collect();
+            writes.sort_by_key(|w| w.invoked_at);
+            if h.len() >= 3 {
+                writes.reverse();
+            }
+            let mut completed: Vec<_> = writes
+                .into_iter()
+                .map(|mut w| {
+                    if w.responded_at.is_none() {
+                        w.responded_at = Some(h.max_time().next());
+                    }
+                    w
+                })
+                .collect();
+            // Append completed reads after all writes if their value matches the last
+            // write; this keeps the toy histories legal.
+            for r in h.reads().filter(|r| r.is_complete()) {
+                completed.push(r.clone());
+            }
+            Some(SeqHistory::from_ops(completed))
+        }
+    }
+
+    #[test]
+    fn checker_based_strategy_passes_on_sequential_history() {
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.read(ProcessId(1), R, 1i64);
+        b.write(ProcessId(0), R, 2i64);
+        let h = b.build();
+        assert!(
+            check_write_strong_prefix_property(&invocation_order_strategy, &h, &0).is_ok()
+        );
+    }
+
+    #[test]
+    fn flipping_strategy_violates_write_prefix_property() {
+        // Three mutually concurrent writes: every ordering is a valid linearization of
+        // every prefix, so property (L) holds throughout, but the flip after the third
+        // invocation breaks property (P) of Definition 4.
+        let mut b = HistoryBuilder::new();
+        let w0 = b.invoke_write(ProcessId(0), R, 1i64);
+        let w1 = b.invoke_write(ProcessId(1), R, 2i64);
+        let w2 = b.invoke_write(ProcessId(2), R, 3i64);
+        b.respond_write(w0);
+        b.respond_write(w1);
+        b.respond_write(w2);
+        let h = b.build();
+        let err = check_write_strong_prefix_property(&Flipper, &h, &0)
+            .expect_err("flip must be detected");
+        assert!(err.reason.contains("Definition 4"));
+        assert!(err.to_string().contains("prefix property violated"));
+    }
+
+    #[test]
+    fn strong_property_is_stricter_than_write_strong() {
+        // A strategy that keeps write order stable but moves a read earlier when the
+        // history grows: write strong-linearizable but not strongly linearizable.
+        const B: RegisterId = RegisterId(1);
+        struct ReadMover;
+        impl LinearizationStrategy<i64> for ReadMover {
+            fn linearize(&self, h: &History<i64>) -> Option<SeqHistory<i64>> {
+                let mut writes: Vec<_> =
+                    h.writes().filter(|w| w.is_complete()).cloned().collect();
+                writes.sort_by_key(|w| w.invoked_at);
+                let reads: Vec<_> = h.reads().filter(|r| r.is_complete()).cloned().collect();
+                let mut ops = Vec::new();
+                if h.len() >= 3 {
+                    // Reads (of register B's initial value) placed before the writes.
+                    ops.extend(reads.iter().cloned());
+                    ops.extend(writes.iter().cloned());
+                } else {
+                    ops.extend(writes.iter().cloned());
+                    ops.extend(reads.iter().cloned());
+                }
+                Some(SeqHistory::from_ops(ops))
+            }
+        }
+
+        // The read targets register B (and returns its initial value) while the writes
+        // target register A, so legality never constrains the read's position; only the
+        // prefix properties distinguish the two notions.
+        let mut b = HistoryBuilder::new();
+        let r = b.invoke_read(ProcessId(1), B);
+        let w = b.invoke_write(ProcessId(0), R, 1i64);
+        b.respond_read(r, 0i64);
+        b.respond_write(w);
+        b.write(ProcessId(0), R, 2i64);
+        let h = b.build();
+
+        assert!(check_write_strong_prefix_property(&ReadMover, &h, &0).is_ok());
+        assert!(check_strong_prefix_property(&ReadMover, &h, &0).is_err());
+    }
+
+    #[test]
+    fn subset_strong_generalizes_both_notions() {
+        // The flipping strategy over three concurrent writes (as above): the write
+        // subset detects the violation, the read subset does not (there are no reads).
+        let mut b = HistoryBuilder::new();
+        let w0 = b.invoke_write(ProcessId(0), R, 1i64);
+        let w1 = b.invoke_write(ProcessId(1), R, 2i64);
+        let w2 = b.invoke_write(ProcessId(2), R, 3i64);
+        b.respond_write(w0);
+        b.respond_write(w1);
+        b.respond_write(w2);
+        let h = b.build();
+
+        let writes_only = |o: &crate::op::Operation<i64>| o.is_write();
+        let reads_only = |o: &crate::op::Operation<i64>| o.is_read();
+
+        let err = check_subset_strong_prefix_property(&Flipper, &h, &0, &writes_only)
+            .expect_err("write subset must detect the flip");
+        assert!(err.reason.contains("generalized property P"));
+        assert!(check_subset_strong_prefix_property(&Flipper, &h, &0, &reads_only).is_ok());
+
+        // Consistency with the dedicated checkers.
+        assert_eq!(
+            check_write_strong_prefix_property(&Flipper, &h, &0).is_err(),
+            check_subset_strong_prefix_property(&Flipper, &h, &0, &writes_only).is_err()
+        );
+        let everything = |_: &crate::op::Operation<i64>| true;
+        assert_eq!(
+            check_strong_prefix_property(&Flipper, &h, &0).is_err(),
+            check_subset_strong_prefix_property(&Flipper, &h, &0, &everything).is_err()
+        );
+    }
+
+    #[test]
+    fn strategy_that_fails_to_linearize_is_an_l_violation() {
+        struct Refuses;
+        impl LinearizationStrategy<i64> for Refuses {
+            fn linearize(&self, h: &History<i64>) -> Option<SeqHistory<i64>> {
+                if h.len() >= 2 {
+                    None
+                } else {
+                    Some(SeqHistory::from_ops(
+                        h.completed().cloned().collect::<Vec<_>>(),
+                    ))
+                }
+            }
+        }
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.write(ProcessId(0), R, 2i64);
+        let h = b.build();
+        let err = check_write_strong_prefix_property(&Refuses, &h, &0).unwrap_err();
+        assert!(err.reason.contains("property L"));
+    }
+
+    #[test]
+    fn closure_strategies_implement_the_trait() {
+        let strategy = |h: &History<i64>| check_linearizable(h, &0);
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 5i64);
+        let h = b.build();
+        assert!(strategy.linearize(&h).is_some());
+    }
+}

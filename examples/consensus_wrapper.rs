@@ -1,0 +1,48 @@
+//! Experiment E3: the Corollary 9 wrapper `A′ = (Algorithm 1 ; consensus)`.
+//!
+//! The task algorithm `A` (randomized binary consensus) terminates with probability 1 on
+//! its own. Prefixing it with Algorithm 1 produces `A′`, whose termination now depends
+//! entirely on the strength of the three extra registers: linearizable registers let the
+//! strong adversary starve the game forever (so consensus never starts), while write
+//! strongly-linearizable registers let the game end and consensus run.
+//!
+//! Run with: `cargo run --release --example consensus_wrapper`
+
+use rlt_core::consensus::{run_consensus, ConsensusConfig};
+use rlt_core::game::run_wrapped;
+use rlt_core::sim::RegisterMode;
+
+fn main() {
+    let n = 4;
+    let inputs = vec![0, 1, 1, 0];
+
+    println!("== The task algorithm A alone (randomized consensus) ==");
+    for seed in 0..3 {
+        let outcome = run_consensus(&ConsensusConfig::new(n, inputs.clone()), seed);
+        println!("  seed {seed}: {outcome}");
+        assert!(outcome.all_decided() && outcome.agreement_holds());
+    }
+
+    println!();
+    println!("== A' with write strongly-linearizable registers (terminates) ==");
+    for seed in 0..3 {
+        let outcome = run_wrapped(
+            RegisterMode::WriteStrongLinearizable,
+            n,
+            inputs.clone(),
+            500,
+            seed,
+        );
+        println!("  seed {seed}: {outcome}");
+        assert!(outcome.terminated());
+    }
+
+    println!();
+    println!("== A' with only-linearizable registers (the adversary starves it) ==");
+    for seed in 0..3 {
+        let outcome = run_wrapped(RegisterMode::Linearizable, n, inputs.clone(), 60, seed);
+        println!("  seed {seed}: {outcome}");
+        assert!(!outcome.terminated());
+        assert!(outcome.consensus.is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests for ABD in message passing and Theorem 14.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlt_core::mp::AbdCluster;
+use rlt_core::spec::strategy::check_write_strong_prefix_property;
+use rlt_core::spec::swmr::{canonical_swmr_strategy, effective_swmr_writes, is_swmr_history, swmr_star};
+use rlt_core::spec::{check_linearizable, ProcessId};
+
+fn adversarial_run(n: usize, writer: ProcessId, seed: u64, crash: Option<ProcessId>) -> AbdCluster {
+    let mut cluster = AbdCluster::new(n, writer);
+    let mut rng = StdRng::seed_from_u64(seed);
+    if let Some(p) = crash {
+        cluster.crash(p);
+    }
+    let mut next_value = 1i64;
+    for phase in 0..6 {
+        if cluster.is_idle(writer) && phase % 2 == 0 {
+            cluster.start_write(next_value);
+            next_value += 1;
+        }
+        for reader in 0..n {
+            let reader = ProcessId(reader);
+            if reader != writer && !cluster.is_crashed(reader) && cluster.is_idle(reader) && rng.gen_bool(0.4)
+            {
+                cluster.start_read(reader);
+            }
+        }
+        for _ in 0..rng.gen_range(3..18) {
+            cluster.deliver_random(&mut rng);
+        }
+    }
+    cluster.run_to_quiescence(&mut rng, 200_000);
+    cluster
+}
+
+#[test]
+fn abd_histories_are_swmr_and_linearizable() {
+    for seed in 0..10u64 {
+        let cluster = adversarial_run(5, ProcessId(0), seed, None);
+        let h = cluster.history();
+        assert!(is_swmr_history(&h), "seed {seed}");
+        assert!(check_linearizable(&h, &0).is_some(), "seed {seed}");
+    }
+}
+
+#[test]
+fn theorem14_abd_is_write_strongly_linearizable() {
+    for seed in 0..10u64 {
+        let cluster = adversarial_run(5, ProcessId(2), seed, None);
+        let h = cluster.history();
+        let strategy = canonical_swmr_strategy(0i64);
+        check_write_strong_prefix_property(&strategy, &h, &0)
+            .unwrap_or_else(|v| panic!("Theorem 14 violated on seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn theorem14_holds_under_minority_crashes() {
+    for seed in 0..6u64 {
+        let cluster = adversarial_run(5, ProcessId(0), seed, Some(ProcessId(4)));
+        let h = cluster.history();
+        assert!(check_linearizable(&h, &0).is_some(), "seed {seed}");
+        let strategy = canonical_swmr_strategy(0i64);
+        assert!(
+            check_write_strong_prefix_property(&strategy, &h, &0).is_ok(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn f_star_write_sequence_matches_effective_writes() {
+    // Appendix E, Claims 67.1/67.2: the writes of f*(H) are exactly the writes that are
+    // complete or read by some read, in start-time order.
+    for seed in 0..6u64 {
+        let cluster = adversarial_run(5, ProcessId(0), seed, None);
+        let h = cluster.history();
+        let f_output = check_linearizable(&h, &0).expect("linearizable");
+        let starred = swmr_star(f_output, &h);
+        let expected = effective_swmr_writes(&h);
+        let mut got = starred.write_ids();
+        // f* may omit pending writes that were never read; the effective-writes list is
+        // exactly the set that must appear. Sort-insensitive comparison of sets first:
+        got.sort();
+        let mut exp_sorted = expected.clone();
+        exp_sorted.sort();
+        assert_eq!(got, exp_sorted, "seed {seed}");
+        // And the order (by invocation) must agree as well.
+        assert_eq!(starred.write_ids(), expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn crashed_majority_leaves_pending_operations_without_breaking_safety() {
+    let mut cluster = AbdCluster::new(5, ProcessId(0));
+    let mut rng = StdRng::seed_from_u64(9);
+    cluster.start_write(1);
+    cluster.run_to_quiescence(&mut rng, 10_000);
+    cluster.crash(ProcessId(2));
+    cluster.crash(ProcessId(3));
+    cluster.crash(ProcessId(4));
+    cluster.start_read(ProcessId(1));
+    cluster.run_to_quiescence(&mut rng, 10_000);
+    let h = cluster.history();
+    assert_eq!(h.pending().count(), 1); // the read can never finish
+    assert!(check_linearizable(&h, &0).is_some());
+}

