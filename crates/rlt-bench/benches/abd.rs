@@ -34,20 +34,24 @@ fn abd_with_minority_crashes(c: &mut Criterion) {
     let mut group = c.benchmark_group("abd_minority_crashes");
     group.sample_size(30);
     for &crashes in &[0usize, 1, 2] {
-        group.bench_with_input(BenchmarkId::new("crashes_of_5", crashes), &crashes, |b, &k| {
-            b.iter(|| {
-                let mut cluster = AbdCluster::new(5, ProcessId(0));
-                let mut rng = StdRng::seed_from_u64(2);
-                for i in 0..k {
-                    cluster.crash(ProcessId(4 - i));
-                }
-                cluster.start_write(1);
-                cluster.run_to_quiescence(&mut rng, 1_000_000);
-                cluster.start_read(ProcessId(1));
-                cluster.run_to_quiescence(&mut rng, 1_000_000);
-                black_box(cluster.history().completed().count())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("crashes_of_5", crashes),
+            &crashes,
+            |b, &k| {
+                b.iter(|| {
+                    let mut cluster = AbdCluster::new(5, ProcessId(0));
+                    let mut rng = StdRng::seed_from_u64(2);
+                    for i in 0..k {
+                        cluster.crash(ProcessId(4 - i));
+                    }
+                    cluster.start_write(1);
+                    cluster.run_to_quiescence(&mut rng, 1_000_000);
+                    cluster.start_read(ProcessId(1));
+                    cluster.run_to_quiescence(&mut rng, 1_000_000);
+                    black_box(cluster.history().completed().count())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -70,7 +74,7 @@ fn abd_pipelined_workload(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))

@@ -10,12 +10,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rlt_bench::{lamport_workload, vector_workload};
 use rlt_registers::algorithm3::vector_linearization;
 use rlt_spec::check_linearizable;
+use rlt_spec::linearizability::DEFAULT_STATE_LIMIT;
+use rlt_spec::reference::reference_check_linearizable;
 use std::hint::black_box;
 
 fn linearizability_checker(c: &mut Criterion) {
     let mut group = c.benchmark_group("check_linearizable");
     group.sample_size(20);
-    for &decisions in &[20usize, 40, 80] {
+    // 80 decisions was the ceiling of the pre-engine checker's coverage; the interned
+    // bitset engine reaches 160 and 320 comfortably under the state limit.
+    for &decisions in &[20usize, 40, 80, 160, 320] {
         let history = lamport_workload(3, decisions, 7);
         group.bench_with_input(
             BenchmarkId::new("lamport_history", history.len()),
@@ -25,6 +29,24 @@ fn linearizability_checker(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+fn engine_vs_reference(c: &mut Criterion) {
+    // Head-to-head on the 80-decision workload (the old ceiling): the engine against
+    // the pre-rewrite checker kept in `rlt_spec::reference`. EXPERIMENTS.md tracks the
+    // ratio; the acceptance bar is >= 5x.
+    let mut group = c.benchmark_group("engine_vs_reference_80_decisions");
+    group.sample_size(20);
+    let history = lamport_workload(3, 80, 7);
+    group.bench_function("engine", |b| {
+        b.iter(|| black_box(check_linearizable(&history, &0).is_some()));
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(reference_check_linearizable(&history, &0, DEFAULT_STATE_LIMIT).is_some())
+        });
+    });
     group.finish();
 }
 
@@ -66,6 +88,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = linearizability_checker, algorithm3_linearization, algorithm3_vs_general_checker
+    targets = linearizability_checker, engine_vs_reference, algorithm3_linearization, algorithm3_vs_general_checker
 }
 criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Machine-readable summary of linearizability-checker scaling.
+//!
+//! Runs both the engine-backed `check_linearizable_report` and the pre-engine
+//! reference checker (`rlt_spec::reference`) on the `lamport_history` workloads used
+//! by `benches/checkers.rs` (single-register, 3 processes) and on multi-register
+//! workloads assembled from independent per-register runs. Writes
+//! `BENCH_checkers.json` with mean wall time and `states_explored` per workload size
+//! so the perf trajectory is tracked across PRs (see `EXPERIMENTS.md`, experiment
+//! E10). The reference checker only runs up to its historical 80-decision ceiling.
+//!
+//! Usage: `cargo run --release -p rlt-bench --bin checkers_summary [out.json]`
+
+use rlt_bench::lamport_workload;
+use rlt_spec::linearizability::{check_linearizable_report, DEFAULT_STATE_LIMIT};
+use rlt_spec::reference::reference_check_linearizable;
+use rlt_spec::{History, Operation, RegisterId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Decision counts for the single-register scaling series. 80 was the ceiling of the
+/// pre-engine checker's bench coverage; 160/320 exercise the engine headroom.
+const SINGLE_REGISTER_SIZES: &[usize] = &[20, 40, 80, 160, 320];
+
+/// Decision counts per register for the multi-register composition series.
+const MULTI_REGISTER_SIZES: &[usize] = &[20, 40, 80];
+
+/// Registers in the multi-register series.
+const MULTI_REGISTERS: usize = 3;
+
+/// Sizes the reference checker participates in (its historical bench ceiling).
+const REFERENCE_CEILING: usize = 80;
+
+/// Wall-time budget per measured point; iterations repeat until it is spent.
+const MEASURE_BUDGET_NANOS: u128 = 200_000_000;
+
+struct Row {
+    checker: &'static str,
+    workload: String,
+    ops: usize,
+    linearizable: bool,
+    states_explored: u64,
+    states_memoized: u64,
+    mean_wall_nanos: u128,
+    iterations: u64,
+    limit_hit: bool,
+}
+
+/// Times `f` repeatedly until the budget is spent and returns the mean nanoseconds.
+fn mean_time<F: FnMut() -> bool>(mut f: F) -> (u128, u64, bool) {
+    let start = Instant::now();
+    let mut iterations = 0u64;
+    let last = loop {
+        let outcome = f();
+        iterations += 1;
+        if start.elapsed().as_nanos() >= MEASURE_BUDGET_NANOS {
+            break outcome;
+        }
+    };
+    (
+        start.elapsed().as_nanos() / u128::from(iterations),
+        iterations,
+        last,
+    )
+}
+
+fn measure_engine(workload: &str, history: &History<i64>) -> Row {
+    let probe = check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT);
+    let (mean_wall_nanos, iterations, linearizable) = mean_time(|| {
+        check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT)
+            .witness
+            .is_some()
+    });
+    Row {
+        checker: "engine",
+        workload: workload.to_string(),
+        ops: history.len(),
+        linearizable,
+        states_explored: probe.states_explored,
+        states_memoized: probe.states_memoized,
+        mean_wall_nanos,
+        iterations,
+        limit_hit: probe.limit_hit,
+    }
+}
+
+fn measure_reference(workload: &str, history: &History<i64>) -> Row {
+    let (mean_wall_nanos, iterations, linearizable) =
+        mean_time(|| reference_check_linearizable(history, &0, DEFAULT_STATE_LIMIT).is_some());
+    Row {
+        checker: "reference",
+        workload: workload.to_string(),
+        ops: history.len(),
+        linearizable,
+        states_explored: 0, // the reference API reports no statistics
+        states_memoized: 0,
+        mean_wall_nanos,
+        iterations,
+        limit_hit: false,
+    }
+}
+
+/// Interleaves `k` independent single-register histories into one multi-register
+/// history: ids, times, and registers are remapped so the per-register subhistories
+/// keep their internal structure while sharing one global timeline.
+fn multi_register_workload(k: usize, decisions: usize, seed: u64) -> History<i64> {
+    let mut ops: Vec<Operation<i64>> = Vec::new();
+    let mut next_id = 0u64;
+    for r in 0..k {
+        let h = lamport_workload(3, decisions, seed + r as u64);
+        for op in h.operations() {
+            let mut op = op.clone();
+            op.id = rlt_spec::OpId(next_id);
+            next_id += 1;
+            op.register = RegisterId(r);
+            // Spread each register's events over disjoint residues mod k so times stay
+            // globally unique while preserving within-register order.
+            op.invoked_at = rlt_spec::Time(op.invoked_at.0 * k as u64 + r as u64);
+            if let Some(t) = op.responded_at {
+                op.responded_at = Some(rlt_spec::Time(t.0 * k as u64 + r as u64));
+            }
+            ops.push(op);
+        }
+    }
+    History::from_operations(ops)
+}
+
+fn log_row(r: &Row) {
+    eprintln!(
+        "{:>9} {}: {} ops, {} states, {:.3} ms/iter over {} iters{}",
+        r.checker,
+        r.workload,
+        r.ops,
+        r.states_explored,
+        r.mean_wall_nanos as f64 / 1e6,
+        r.iterations,
+        if r.limit_hit { " (LIMIT HIT)" } else { "" }
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_checkers.json".to_string());
+
+    let mut rows = Vec::new();
+    for &decisions in SINGLE_REGISTER_SIZES {
+        let history = lamport_workload(3, decisions, 7);
+        let name = format!("lamport_history/{decisions}");
+        let row = measure_engine(&name, &history);
+        log_row(&row);
+        rows.push(row);
+        if decisions <= REFERENCE_CEILING {
+            let row = measure_reference(&name, &history);
+            log_row(&row);
+            rows.push(row);
+        }
+    }
+    for &decisions in MULTI_REGISTER_SIZES {
+        let history = multi_register_workload(MULTI_REGISTERS, decisions, 7);
+        let name = format!("multi_register_{MULTI_REGISTERS}x/{decisions}");
+        let row = measure_engine(&name, &history);
+        log_row(&row);
+        rows.push(row);
+        if decisions <= REFERENCE_CEILING {
+            let row = measure_reference(&name, &history);
+            log_row(&row);
+            rows.push(row);
+        }
+    }
+
+    // Hand-rolled JSON: the workspace deliberately has no serialization dependency.
+    let mut json = String::from("{\n  \"experiment\": \"E10-checker-scaling\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"checker\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \
+             \"linearizable\": {}, \"states_explored\": {}, \"states_memoized\": {}, \
+             \"mean_wall_nanos\": {}, \"iterations\": {}, \"limit_hit\": {}}}{}",
+            r.checker,
+            r.workload,
+            r.ops,
+            r.linearizable,
+            r.states_explored,
+            r.states_memoized,
+            r.mean_wall_nanos,
+            r.iterations,
+            r.limit_hit,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write summary JSON");
+    eprintln!("wrote {out_path}");
+}

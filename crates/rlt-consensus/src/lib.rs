@@ -127,10 +127,7 @@ impl ConsensusOutcome {
     /// consensus when both values are proposed; meaningful when inputs are unanimous).
     #[must_use]
     pub fn validity_holds(&self, inputs: &[i64]) -> bool {
-        self.decisions
-            .iter()
-            .flatten()
-            .all(|d| inputs.contains(d))
+        self.decisions.iter().flatten().all(|d| inputs.contains(d))
     }
 
     /// The agreed value, if any process decided.
@@ -217,7 +214,11 @@ impl StepProcess<Value> for ConsensusProcess {
     ) -> StepOutcome {
         match std::mem::replace(&mut self.phase, Phase::Decided) {
             Phase::WriteReport => {
-                mem.write(pid, report_reg(self.n, self.round, pid.0), Value::Int(self.pref));
+                mem.write(
+                    pid,
+                    report_reg(self.n, self.round, pid.0),
+                    Value::Int(self.pref),
+                );
                 self.phase = Phase::ScanReports {
                     j: 0,
                     seen: Vec::new(),
@@ -326,7 +327,10 @@ pub fn run_consensus_with_adversary(
     let coin = CoinSource::new(coin_seed);
     let mut sched = Scheduler::new(mem, coin, adversary);
     for (i, &input) in config.inputs.iter().enumerate() {
-        sched.add_process(ProcessId(i), Box::new(ConsensusProcess::new(config.n, input)));
+        sched.add_process(
+            ProcessId(i),
+            Box::new(ConsensusProcess::new(config.n, input)),
+        );
     }
     let outcome = sched.run(config.max_steps);
     // Each process publishes `(value, round)` into its decision register right before
@@ -370,10 +374,7 @@ mod tests {
             assert!(outcome.all_decided(), "{outcome}");
             assert!(outcome.agreement_holds());
             assert_eq!(outcome.decided_value(), Some(value));
-            assert!(outcome
-                .decision_rounds
-                .iter()
-                .all(|r| *r == Some(1)));
+            assert!(outcome.decision_rounds.iter().all(|r| *r == Some(1)));
         }
     }
 

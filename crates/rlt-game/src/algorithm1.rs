@@ -161,8 +161,11 @@ pub fn run_game(mode: RegisterMode, config: &GameConfig, seed: u64) -> GameOutco
             break;
         }
         rounds_executed = round;
-        let active_players: Vec<ProcessId> =
-            players.iter().copied().filter(|p| player_active[p.0]).collect();
+        let active_players: Vec<ProcessId> = players
+            .iter()
+            .copied()
+            .filter(|p| player_active[p.0])
+            .collect();
 
         // ---------------- Phase 1 ----------------
         // Players reset R1 and C to ⊥ (lines 19–20).
@@ -294,8 +297,7 @@ pub fn run_game(mode: RegisterMode, config: &GameConfig, seed: u64) -> GameOutco
         rounds.push(RoundReport {
             round,
             coin: coin_value,
-            players_survived: survivors.len() == active_players.len()
-                && !active_players.is_empty(),
+            players_survived: survivors.len() == active_players.len() && !active_players.is_empty(),
             hosts_survived,
         });
     }
@@ -343,7 +345,10 @@ mod tests {
             let outcome = run_game(RegisterMode::Linearizable, &cfg, seed);
             assert!(!outcome.all_returned, "seed {seed}");
             assert_eq!(outcome.rounds_executed, 40);
-            assert!(outcome.rounds.iter().all(|r| r.players_survived && r.hosts_survived));
+            assert!(outcome
+                .rounds
+                .iter()
+                .all(|r| r.players_survived && r.hosts_survived));
             assert!(outcome.returned_at.iter().all(|r| r.is_none()));
         }
     }
@@ -428,18 +433,16 @@ mod tests {
     fn bounded_variant_behaves_identically() {
         // Appendix B: the bounded-register version has exactly the same behaviour.
         let cfg_unbounded = GameConfig::new(4).with_max_rounds(30);
-        let cfg_bounded = GameConfig::new(4).with_max_rounds(30).with_bounded_registers();
+        let cfg_bounded = GameConfig::new(4)
+            .with_max_rounds(30)
+            .with_bounded_registers();
         for seed in 0..5u64 {
             let a = run_game(RegisterMode::Linearizable, &cfg_unbounded, seed);
             let b = run_game(RegisterMode::Linearizable, &cfg_bounded, seed);
             assert_eq!(a.all_returned, b.all_returned, "seed {seed}");
             let c = run_game(RegisterMode::WriteStrongLinearizable, &cfg_unbounded, seed);
             let d = run_game(RegisterMode::WriteStrongLinearizable, &cfg_bounded, seed);
-            assert_eq!(
-                c.termination_round(),
-                d.termination_round(),
-                "seed {seed}"
-            );
+            assert_eq!(c.termination_round(), d.termination_round(), "seed {seed}");
         }
     }
 
@@ -456,7 +459,10 @@ mod tests {
             assert_eq!(outcome.returned_at[1], Some(host_round));
             for p in 2..6 {
                 let pr = outcome.returned_at[p].unwrap();
-                assert!(pr <= host_round + 1, "seed {seed}: player {p} at {pr}, hosts at {host_round}");
+                assert!(
+                    pr <= host_round + 1,
+                    "seed {seed}: player {p} at {pr}, hosts at {host_round}"
+                );
             }
         }
     }

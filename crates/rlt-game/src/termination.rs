@@ -160,14 +160,16 @@ mod tests {
         let stats = termination_experiment(RegisterMode::Linearizable, &config, 20, 1);
         assert_eq!(stats.terminated_fraction, 0.0);
         assert!(stats.mean_termination_round.is_none());
-        assert!(stats.survival_by_round.iter().all(|s| (*s - 1.0).abs() < 1e-9));
+        assert!(stats
+            .survival_by_round
+            .iter()
+            .all(|s| (*s - 1.0).abs() < 1e-9));
     }
 
     #[test]
     fn wsl_mode_terminates_with_geometric_survival() {
         let config = GameConfig::new(4).with_max_rounds(400);
-        let stats =
-            termination_experiment(RegisterMode::WriteStrongLinearizable, &config, 400, 2);
+        let stats = termination_experiment(RegisterMode::WriteStrongLinearizable, &config, 400, 2);
         assert!((stats.terminated_fraction - 1.0).abs() < 1e-9);
         let mean = stats.mean_termination_round.unwrap();
         assert!((1.4..=2.8).contains(&mean), "mean = {mean}");
@@ -215,8 +217,7 @@ mod tests {
     #[test]
     fn stats_display_is_informative() {
         let config = GameConfig::new(3).with_max_rounds(60);
-        let stats =
-            termination_experiment(RegisterMode::WriteStrongLinearizable, &config, 20, 5);
+        let stats = termination_experiment(RegisterMode::WriteStrongLinearizable, &config, 20, 5);
         let text = stats.to_string();
         assert!(text.contains("write strongly-linearizable"));
         assert!(text.contains("survival by round"));

@@ -33,8 +33,16 @@ struct Env {
 #[derive(Debug, Clone)]
 enum Client {
     Idle,
-    Writing { op: OpId, seq: u64, acks: BTreeSet<usize> },
-    Reading { op: OpId, rid: u64, replies: BTreeMap<usize, (u64, i64)> },
+    Writing {
+        op: OpId,
+        seq: u64,
+        acks: BTreeSet<usize>,
+    },
+    Reading {
+        op: OpId,
+        rid: u64,
+        replies: BTreeMap<usize, (u64, i64)>,
+    },
 }
 
 /// ABD without the read write-back phase: **not** linearizable.
@@ -187,7 +195,7 @@ impl FaultyAbdCluster {
                 if let Client::Writing { op, seq: s, acks } = &mut self.clients[to.0] {
                     if *s == seq {
                         acks.insert(env.from.0);
-                        if acks.len() >= self.n / 2 + 1 {
+                        if acks.len() > self.n / 2 {
                             let op = *op;
                             self.clients[to.0] = Client::Idle;
                             self.respond(op, None);
@@ -204,10 +212,15 @@ impl FaultyAbdCluster {
                 });
             }
             Msg::ReadReply { rid, seq, value } => {
-                if let Client::Reading { op, rid: r, replies } = &mut self.clients[to.0] {
+                if let Client::Reading {
+                    op,
+                    rid: r,
+                    replies,
+                } = &mut self.clients[to.0]
+                {
                     if *r == rid {
                         replies.insert(env.from.0, (seq, value));
-                        if replies.len() >= self.n / 2 + 1 {
+                        if replies.len() > self.n / 2 {
                             // FAULT: return immediately, without writing back.
                             let (_, &(_, best_value)) =
                                 replies.iter().max_by_key(|(_, (s, _))| *s).unwrap();
@@ -267,7 +280,10 @@ impl FaultyAbdCluster {
     /// Panics if `n < 5` (a majority excluding one specific replica needs `n ≥ 5`).
     #[must_use]
     pub fn new_old_inversion(n: usize) -> History<i64> {
-        assert!(n >= 5, "need n >= 5 so two disjoint-enough majorities exist");
+        assert!(
+            n >= 5,
+            "need n >= 5 so two disjoint-enough majorities exist"
+        );
         let majority = n / 2 + 1;
         let writer = ProcessId(0);
         let mut c = FaultyAbdCluster::new(n, writer);
@@ -289,7 +305,9 @@ impl FaultyAbdCluster {
             let idx = c
                 .inflight
                 .iter()
-                .position(|e| matches!(e.msg, Msg::ReadReq { rid } if rid == 1) && e.to.0 <= majority - 1)
+                .position(|e| {
+                    matches!(e.msg, Msg::ReadReq { rid } if rid == 1) && e.to.0 < majority
+                })
                 .expect("read-1 request to a low-indexed replica");
             c.deliver(idx);
             answered += 1;
@@ -353,8 +371,7 @@ mod tests {
     fn new_old_inversion_is_rejected_by_the_checker() {
         for n in [5usize, 7, 9] {
             let h = FaultyAbdCluster::new_old_inversion(n);
-            let r_values: Vec<i64> =
-                h.reads().filter_map(|r| r.read_value().copied()).collect();
+            let r_values: Vec<i64> = h.reads().filter_map(|r| r.read_value().copied()).collect();
             // First read (by p1) sees the new value; the later read by p2 sees the old
             // one — the classic new/old inversion the write-back phase exists to
             // prevent.

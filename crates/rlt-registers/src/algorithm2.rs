@@ -77,12 +77,7 @@ impl VectorTrace {
         let read_ts = self
             .read_ts
             .iter()
-            .filter(|(op, _)| {
-                history
-                    .get(**op)
-                    .map(|o| o.is_complete())
-                    .unwrap_or(false)
-            })
+            .filter(|(op, _)| history.get(**op).map(|o| o.is_complete()).unwrap_or(false))
             .map(|(op, ts)| (*op, ts.clone()))
             .collect();
         let writes = self
@@ -225,7 +220,10 @@ impl VectorSim {
     /// Panics if `p` already has an operation in progress or is out of range.
     pub fn start_write(&mut self, p: ProcessId, value: i64) -> OpId {
         assert!(p.0 < self.n, "process {p} out of range");
-        assert!(self.is_idle(p), "process {p} already has an operation in progress");
+        assert!(
+            self.is_idle(p),
+            "process {p} already has an operation in progress"
+        );
         let op = self.fresh_op();
         let t = self.tick();
         self.ops.push(Operation {
@@ -264,7 +262,10 @@ impl VectorSim {
     /// Panics if `p` already has an operation in progress or is out of range.
     pub fn start_read(&mut self, p: ProcessId) -> OpId {
         assert!(p.0 < self.n, "process {p} out of range");
-        assert!(self.is_idle(p), "process {p} already has an operation in progress");
+        assert!(
+            self.is_idle(p),
+            "process {p} already has an operation in progress"
+        );
         let op = self.fresh_op();
         let t = self.tick();
         self.ops.push(Operation {
@@ -300,7 +301,9 @@ impl VectorSim {
                     let t = self.tick();
                     let observed = match self.vals[next_component].1.get(next_component) {
                         TsEntry::Finite(v) => v,
-                        TsEntry::Infinity => unreachable!("Val[-] always holds complete timestamps"),
+                        TsEntry::Infinity => {
+                            unreachable!("Val[-] always holds complete timestamps")
+                        }
                     };
                     let assigned = if next_component == p.0 {
                         observed + 1

@@ -19,9 +19,9 @@
 
 use crate::algorithm2::{VectorTrace, WriteTrace};
 use crate::timestamp::VectorTs;
-use rlt_spec::{OpId, Operation, SeqHistory, Time};
 use rlt_spec::strategy::LinearizationStrategy;
 use rlt_spec::History;
+use rlt_spec::{OpId, Operation, SeqHistory, Time};
 use std::collections::BTreeMap;
 
 /// Runs Algorithm 3 on (a prefix of) a trace of Algorithm 2.
@@ -59,7 +59,9 @@ pub fn vector_linearization(trace: &VectorTrace, cut: Option<Time>) -> Option<Se
             if ws.contains(&w.op) {
                 continue;
             }
-            let Some(op) = history.get(w.op) else { continue };
+            let Some(op) = history.get(w.op) else {
+                continue;
+            };
             if !op.is_active_at(*ti) {
                 continue;
             }
@@ -174,9 +176,7 @@ impl LinearizationStrategy<i64> for VectorStrategy {
 mod tests {
     use super::*;
     use crate::algorithm2::VectorSim;
-    use rlt_spec::strategy::{
-        check_strong_prefix_property, check_write_strong_prefix_property,
-    };
+    use rlt_spec::strategy::{check_strong_prefix_property, check_write_strong_prefix_property};
     use rlt_spec::{check_linearizable, ProcessId};
 
     fn assert_is_wsl(sim: &VectorSim) {
@@ -285,7 +285,10 @@ mod tests {
             let lin = vector_linearization(&trace, None).expect("must linearize");
             assert!(lin.is_linearization_of(&trace.history, &0), "seed {seed}");
             // Cross-validate with the general-purpose checker.
-            assert!(check_linearizable(&trace.history, &0).is_some(), "seed {seed}");
+            assert!(
+                check_linearizable(&trace.history, &0).is_some(),
+                "seed {seed}"
+            );
         }
     }
 

@@ -55,12 +55,7 @@ impl LamportTrace {
             read_ts: self
                 .read_ts
                 .iter()
-                .filter(|(op, _)| {
-                    history
-                        .get(**op)
-                        .map(|o| o.is_complete())
-                        .unwrap_or(false)
-                })
+                .filter(|(op, _)| history.get(**op).map(|o| o.is_complete()).unwrap_or(false))
                 .map(|(op, ts)| (*op, *ts))
                 .collect(),
             writes: self
@@ -186,7 +181,10 @@ impl LamportSim {
     /// Panics if `p` already has an operation in progress or is out of range.
     pub fn start_write(&mut self, p: ProcessId, value: i64) -> OpId {
         assert!(p.0 < self.n, "process {p} out of range");
-        assert!(self.is_idle(p), "process {p} already has an operation in progress");
+        assert!(
+            self.is_idle(p),
+            "process {p} already has an operation in progress"
+        );
         let op = self.fresh_op();
         let t = self.tick();
         self.ops.push(Operation {
@@ -224,7 +222,10 @@ impl LamportSim {
     /// Panics if `p` already has an operation in progress or is out of range.
     pub fn start_read(&mut self, p: ProcessId) -> OpId {
         assert!(p.0 < self.n, "process {p} out of range");
-        assert!(self.is_idle(p), "process {p} already has an operation in progress");
+        assert!(
+            self.is_idle(p),
+            "process {p} already has an operation in progress"
+        );
         let op = self.fresh_op();
         let t = self.tick();
         self.ops.push(Operation {
@@ -488,8 +489,20 @@ mod tests {
         sim.run_to_completion(ProcessId(0));
         let full = sim.trace();
         let prefix = full.prefix_at(midpoint);
-        assert!(full.writes.iter().find(|x| x.op == w).unwrap().val_write_time.is_some());
-        assert!(prefix.writes.iter().find(|x| x.op == w).unwrap().val_write_time.is_none());
+        assert!(full
+            .writes
+            .iter()
+            .find(|x| x.op == w)
+            .unwrap()
+            .val_write_time
+            .is_some());
+        assert!(prefix
+            .writes
+            .iter()
+            .find(|x| x.op == w)
+            .unwrap()
+            .val_write_time
+            .is_none());
     }
 
     #[test]

@@ -227,11 +227,7 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> SharedMem<V> {
 
     /// Creates a memory with a custom read resolver (the adversary's value choices).
     #[must_use]
-    pub fn with_resolver(
-        mode: RegisterMode,
-        init: V,
-        resolver: Box<dyn ReadResolver<V>>,
-    ) -> Self {
+    pub fn with_resolver(mode: RegisterMode, init: V, resolver: Box<dyn ReadResolver<V>>) -> Self {
         SharedMem {
             init,
             default_mode: mode,
@@ -319,11 +315,7 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> SharedMem<V> {
                 };
                 // Reads invoked after this completion must observe this write or a later
                 // one.
-                reg.state.running_floor = Some(
-                    reg.state
-                        .running_floor
-                        .map_or(pos, |f| f.max(pos)),
-                );
+                reg.state.running_floor = Some(reg.state.running_floor.map_or(pos, |f| f.max(pos)));
             }
             RegisterMode::Linearizable => {
                 // No commitment: the adversary linearizes off-line.
@@ -335,10 +327,7 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> SharedMem<V> {
     /// Starts a read operation.
     pub fn begin_read(&mut self, process: ProcessId, register: RegisterId) -> PendingOp {
         let id = self.builder.invoke_read(process, register);
-        let floor_snapshot = self
-            .regs
-            .get(&register)
-            .and_then(|r| r.state.running_floor);
+        let floor_snapshot = self.regs.get(&register).and_then(|r| r.state.running_floor);
         self.pending.insert(
             id,
             PendingRec {
@@ -366,7 +355,10 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> SharedMem<V> {
         };
         let mode = self.mode_of(rec.register);
         let admissible = self.admissible_choices(rec.register, mode, floor_snapshot);
-        debug_assert!(!admissible.is_empty(), "a read always has at least one choice");
+        debug_assert!(
+            !admissible.is_empty(),
+            "a read always has at least one choice"
+        );
         let chosen_idx = self
             .resolver
             .resolve_read(rec.register, rec.process, &admissible);
@@ -416,9 +408,7 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> SharedMem<V> {
                 .iter()
                 .position(|c| c.value == *desired)
                 .unwrap_or_else(|| {
-                    panic!(
-                        "desired value {desired:?} is not admissible; choices: {admissible:?}"
-                    )
+                    panic!("desired value {desired:?} is not admissible; choices: {admissible:?}")
                 })
         });
         choice
@@ -433,8 +423,11 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> SharedMem<V> {
                 .iter()
                 .position(|c| c.value == *desired)
                 .unwrap_or_else(|| {
-                    LastCommittedResolver
-                        .resolve_read(RegisterId(usize::MAX), ProcessId(usize::MAX), admissible)
+                    LastCommittedResolver.resolve_read(
+                        RegisterId(usize::MAX),
+                        ProcessId(usize::MAX),
+                        admissible,
+                    )
                 })
         })
     }
@@ -539,7 +532,7 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> SharedMem<V> {
                     });
                 }
                 for (pos, &idx) in reg.state.order.iter().enumerate() {
-                    if floor.map_or(true, |f| pos >= f) {
+                    if floor.is_none_or(|f| pos >= f) {
                         choices.push(ReadChoice {
                             value: reg.writes[idx].value.clone(),
                             write: Some(reg.writes[idx].op),
@@ -691,8 +684,7 @@ mod tests {
 
     #[test]
     fn wsl_mode_commits_write_order_at_completion() {
-        let mut mem: SharedMem<i64> =
-            SharedMem::new(RegisterMode::WriteStrongLinearizable, 0);
+        let mut mem: SharedMem<i64> = SharedMem::new(RegisterMode::WriteStrongLinearizable, 0);
         let w1 = mem.begin_write(P0, R, 1);
         let w2 = mem.begin_write(P1, R, 2);
         let id1 = w1.id();
@@ -815,8 +807,7 @@ mod tests {
     fn wsl_committed_order_is_append_only_across_a_run() {
         // Random-ish interleaving of writes and reads; verify the committed order only
         // ever grows by appending.
-        let mut mem: SharedMem<i64> =
-            SharedMem::new(RegisterMode::WriteStrongLinearizable, 0);
+        let mut mem: SharedMem<i64> = SharedMem::new(RegisterMode::WriteStrongLinearizable, 0);
         let mut last_order: Vec<OpId> = Vec::new();
         let mut handles = Vec::new();
         for i in 0..10i64 {

@@ -27,8 +27,12 @@ pub enum StepOutcome {
 pub trait StepProcess<V>: fmt::Debug {
     /// Performs one step on behalf of process `pid`, possibly interacting with the
     /// shared memory or flipping a coin.
-    fn step(&mut self, pid: ProcessId, mem: &mut SharedMem<V>, coin: &mut CoinSource)
-        -> StepOutcome;
+    fn step(
+        &mut self,
+        pid: ProcessId,
+        mem: &mut SharedMem<V>,
+        coin: &mut CoinSource,
+    ) -> StepOutcome;
 }
 
 /// A scheduling adversary: chooses which runnable process takes the next step.

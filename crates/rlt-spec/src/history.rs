@@ -115,9 +115,7 @@ impl<V: Clone> History<V> {
     pub fn max_time(&self) -> Time {
         self.ops
             .iter()
-            .flat_map(|o| {
-                std::iter::once(o.invoked_at).chain(o.responded_at)
-            })
+            .flat_map(|o| std::iter::once(o.invoked_at).chain(o.responded_at))
             .max()
             .unwrap_or(Time::ZERO)
     }

@@ -9,7 +9,9 @@
 //! * The register sequential specification (Definition 2, property 3) in
 //!   [`sequential`].
 //! * A linearizability checker ([`linearizability::check_linearizable`]) that decides
-//!   whether a concurrent register history has a valid linearization (Definition 2).
+//!   whether a concurrent register history has a valid linearization (Definition 2),
+//!   backed by the high-throughput search core in [`engine`] (value interning,
+//!   precedence bitsets, iterative DFS, per-register composition).
 //! * Prefix-property checkers for strong linearizability (Definition 3) and write
 //!   strong-linearizability (Definition 4) over linearization *strategies*
 //!   ([`strategy`]) and existential checks over explicit history families ([`strong`]),
@@ -38,19 +40,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod history;
 pub mod ids;
 pub mod linearizability;
 pub mod op;
+pub mod reference;
 pub mod sequential;
 pub mod strategy;
 pub mod strong;
 pub mod swmr;
 pub mod value;
 
+pub use engine::{CheckOutcome, Engine, EnumerationLimitExceeded};
 pub use history::{History, HistoryBuilder};
 pub use ids::{OpId, ProcessId, RegisterId, Time};
-pub use linearizability::{check_linearizable, LinearizabilityReport};
+pub use linearizability::{
+    check_linearizable, check_linearizable_report, enumerate_linearizations,
+    try_enumerate_linearizations, LinearizabilityReport, DEFAULT_ENUMERATION_WORK_LIMIT,
+    DEFAULT_STATE_LIMIT,
+};
 pub use op::{OpKind, Operation};
 pub use sequential::{is_legal_register_sequence, SeqHistory};
 pub use strategy::{

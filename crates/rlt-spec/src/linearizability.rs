@@ -6,13 +6,21 @@
 //! register state, and memoizing visited configurations. Pending writes may be
 //! linearized or dropped; pending reads are dropped (they impose no constraint on any
 //! other operation because a pending operation never *precedes* another operation).
+//!
+//! Since the engine rewrite, the search itself lives in [`crate::engine`]: values are
+//! interned to dense ids, real-time precedence is precomputed into per-op bitsets, the
+//! search is an explicit-stack DFS over packed `(taken, state)` memo keys, and — the
+//! big structural win — multi-register histories are checked **per register** and the
+//! per-register witnesses merged (registers are independent objects, so joint checking
+//! equals per-register checking). This module keeps the public API and its original
+//! semantics, delegating the heavy lifting.
 
+use crate::engine::Engine;
+pub use crate::engine::EnumerationLimitExceeded;
 use crate::history::History;
-use crate::ids::RegisterId;
-use crate::op::{OpKind, Operation};
+use crate::op::Operation;
 use crate::sequential::SeqHistory;
 use crate::value::RegisterValue;
-use std::collections::{BTreeMap, HashSet};
 
 /// Statistics and outcome of a linearizability check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +31,9 @@ pub struct LinearizabilityReport<V> {
     pub states_explored: u64,
     /// Number of states pruned by memoization.
     pub states_memoized: u64,
+    /// `true` if the search gave up because it hit the state-exploration cap; in that
+    /// case a missing witness does **not** prove the history non-linearizable.
+    pub limit_hit: bool,
 }
 
 impl<V> LinearizabilityReport<V> {
@@ -33,127 +44,41 @@ impl<V> LinearizabilityReport<V> {
     }
 }
 
-struct Searcher<'a, V> {
-    ops: Vec<&'a Operation<V>>,
-    init: &'a V,
-    visited: HashSet<(Vec<bool>, Vec<(RegisterId, V)>)>,
-    states_explored: u64,
-    states_memoized: u64,
-    /// Hard cap on explored states so adversarially large histories fail loudly instead
-    /// of hanging; test-scale histories stay far below it.
-    state_limit: u64,
-}
-
-impl<'a, V: RegisterValue> Searcher<'a, V> {
-    fn new(history: &'a History<V>, init: &'a V, state_limit: u64) -> Self {
-        // Keep completed operations and pending writes; drop pending reads.
-        let ops: Vec<&Operation<V>> = history
-            .operations()
-            .iter()
-            .filter(|o| o.is_complete() || o.is_write())
-            .collect();
-        Searcher {
-            ops,
-            init,
-            visited: HashSet::new(),
-            states_explored: 0,
-            states_memoized: 0,
-            state_limit,
-        }
-    }
-
-    fn search(
-        &mut self,
-        taken: &mut Vec<bool>,
-        state: &mut BTreeMap<RegisterId, V>,
-        order: &mut Vec<usize>,
-    ) -> Option<Vec<usize>> {
-        self.states_explored += 1;
-        if self.states_explored > self.state_limit {
-            return None;
-        }
-        // Success: every completed operation has been linearized.
-        if self
-            .ops
-            .iter()
-            .enumerate()
-            .all(|(i, o)| taken[i] || o.is_pending())
-        {
-            return Some(order.clone());
-        }
-
-        let memo_key = (
-            taken.clone(),
-            state
-                .iter()
-                .map(|(k, v)| (*k, v.clone()))
-                .collect::<Vec<_>>(),
-        );
-        if !self.visited.insert(memo_key) {
-            self.states_memoized += 1;
-            return None;
-        }
-
-        // Candidate operations: not yet taken and real-time minimal among remaining.
-        let candidate_idxs: Vec<usize> = (0..self.ops.len())
-            .filter(|&i| !taken[i])
-            .filter(|&i| {
-                let oi = self.ops[i];
-                (0..self.ops.len())
-                    .filter(|&j| j != i && !taken[j])
-                    .all(|j| !self.ops[j].precedes(oi))
-            })
-            .collect();
-
-        for i in candidate_idxs {
-            let op = self.ops[i];
-            match &op.kind {
-                OpKind::Write(v) => {
-                    let prev = state.insert(op.register, v.clone());
-                    taken[i] = true;
-                    order.push(i);
-                    if let Some(found) = self.search(taken, state, order) {
-                        return Some(found);
-                    }
-                    order.pop();
-                    taken[i] = false;
-                    match prev {
-                        Some(p) => {
-                            state.insert(op.register, p);
-                        }
-                        None => {
-                            state.remove(&op.register);
-                        }
-                    }
-                }
-                OpKind::Read(Some(v)) => {
-                    let current = state.get(&op.register).unwrap_or(self.init);
-                    if current == v {
-                        taken[i] = true;
-                        order.push(i);
-                        if let Some(found) = self.search(taken, state, order) {
-                            return Some(found);
-                        }
-                        order.pop();
-                        taken[i] = false;
-                    }
-                }
-                OpKind::Read(None) => unreachable!("pending reads are filtered out"),
-            }
-        }
-        None
-    }
-}
-
 /// Default cap on the number of search states explored by [`check_linearizable`].
 pub const DEFAULT_STATE_LIMIT: u64 = 20_000_000;
+
+/// Default cap on search nodes visited by [`enumerate_linearizations`] before it
+/// declares the input adversarial and panics (see [`try_enumerate_linearizations`] for
+/// the non-panicking form).
+pub const DEFAULT_ENUMERATION_WORK_LIMIT: u64 = 20_000_000;
+
+/// Materializes an order of indices into `ops` as a [`SeqHistory`], giving linearized
+/// pending operations a matching response so the sequential history is well-formed.
+fn order_to_seq<V: RegisterValue>(
+    history: &History<V>,
+    ops: &[&Operation<V>],
+    order: &[usize],
+) -> SeqHistory<V> {
+    let completion_time = history.max_time().next();
+    let seq_ops = order
+        .iter()
+        .map(|&i| {
+            let mut op = ops[i].clone();
+            if op.responded_at.is_none() {
+                op.responded_at = Some(completion_time);
+            }
+            op
+        })
+        .collect();
+    SeqHistory::from_ops(seq_ops)
+}
 
 /// Checks whether `history` is linearizable with respect to the register type with
 /// initial value `init`, returning a witness linearization if so.
 ///
-/// Histories spanning several registers are handled directly (the register objects are
-/// independent, so this is equivalent to checking each register separately while merging
-/// the real-time constraints).
+/// Histories spanning several registers are decomposed: the register objects are
+/// independent, so the engine checks each register's subhistory separately and merges
+/// the witnesses — exponentially cheaper than the joint search, with the same verdict.
 ///
 /// # Example
 ///
@@ -168,7 +93,10 @@ pub const DEFAULT_STATE_LIMIT: u64 = 20_000_000;
 /// let _ = (w, r);
 /// ```
 #[must_use]
-pub fn check_linearizable<V: RegisterValue>(history: &History<V>, init: &V) -> Option<SeqHistory<V>> {
+pub fn check_linearizable<V: RegisterValue>(
+    history: &History<V>,
+    init: &V,
+) -> Option<SeqHistory<V>> {
     check_linearizable_report(history, init, DEFAULT_STATE_LIMIT).witness
 }
 
@@ -180,147 +108,59 @@ pub fn check_linearizable_report<V: RegisterValue>(
     init: &V,
     state_limit: u64,
 ) -> LinearizabilityReport<V> {
-    let mut searcher = Searcher::new(history, init, state_limit);
-    let n = searcher.ops.len();
-    let mut taken = vec![false; n];
-    let mut state = BTreeMap::new();
-    let mut order = Vec::new();
-    let result = searcher.search(&mut taken, &mut state, &mut order);
-    let witness = result.map(|order| {
-        let ops = order
-            .iter()
-            .map(|&i| {
-                let mut op = searcher.ops[i].clone();
-                // Give linearized pending operations a matching response so the
-                // sequential history is well-formed.
-                if op.responded_at.is_none() {
-                    op.responded_at = Some(history.max_time().next());
-                }
-                op
-            })
-            .collect();
-        SeqHistory::from_ops(ops)
-    });
+    let engine = Engine::new(history, init);
+    let outcome = engine.check(state_limit);
     LinearizabilityReport {
-        witness,
-        states_explored: searcher.states_explored,
-        states_memoized: searcher.states_memoized,
+        witness: outcome
+            .order
+            .map(|order| order_to_seq(history, engine.ops(), &order)),
+        states_explored: outcome.states_explored,
+        states_memoized: outcome.states_memoized,
+        limit_hit: outcome.limit_hit,
     }
 }
 
 /// Enumerates **all** linearizations of `history` (up to the given limit on how many to
 /// return). Used by the existential write-strong-linearizability checks of
 /// [`crate::strong`], which must quantify over every possible linearization of a prefix.
+///
+/// # Panics
+///
+/// Panics if the search visits more than [`DEFAULT_ENUMERATION_WORK_LIMIT`] nodes —
+/// adversarially concurrent histories fail loudly instead of hanging. Use
+/// [`try_enumerate_linearizations`] to handle the cap as a value.
 #[must_use]
 pub fn enumerate_linearizations<V: RegisterValue>(
     history: &History<V>,
     init: &V,
     max_results: usize,
 ) -> Vec<SeqHistory<V>> {
-    let ops: Vec<&Operation<V>> = history
-        .operations()
-        .iter()
-        .filter(|o| o.is_complete() || o.is_write())
-        .collect();
-    let mut results = Vec::new();
-    let mut taken = vec![false; ops.len()];
-    let mut state: BTreeMap<RegisterId, V> = BTreeMap::new();
-    let mut order: Vec<usize> = Vec::new();
-    enumerate_rec(
-        &ops,
-        init,
-        &mut taken,
-        &mut state,
-        &mut order,
-        &mut results,
-        max_results,
-    );
-    results
-        .into_iter()
-        .map(|order| {
-            let seq_ops = order
-                .iter()
-                .map(|&i| {
-                    let mut op = ops[i].clone();
-                    if op.responded_at.is_none() {
-                        op.responded_at = Some(history.max_time().next());
-                    }
-                    op
-                })
-                .collect();
-            SeqHistory::from_ops(seq_ops)
-        })
-        .collect()
+    try_enumerate_linearizations(history, init, max_results, DEFAULT_ENUMERATION_WORK_LIMIT)
+        .unwrap_or_else(|e| panic!("{e}; pass an explicit cap via try_enumerate_linearizations"))
 }
 
-fn enumerate_rec<V: RegisterValue>(
-    ops: &[&Operation<V>],
+/// Like [`enumerate_linearizations`] but with an explicit work cap: at most
+/// `work_limit` search nodes are visited before the enumeration gives up with
+/// [`EnumerationLimitExceeded`].
+pub fn try_enumerate_linearizations<V: RegisterValue>(
+    history: &History<V>,
     init: &V,
-    taken: &mut Vec<bool>,
-    state: &mut BTreeMap<RegisterId, V>,
-    order: &mut Vec<usize>,
-    results: &mut Vec<Vec<usize>>,
     max_results: usize,
-) {
-    if results.len() >= max_results {
-        return;
-    }
-    if ops
+    work_limit: u64,
+) -> Result<Vec<SeqHistory<V>>, EnumerationLimitExceeded> {
+    let engine = Engine::new(history, init);
+    let orders = engine.enumerate(max_results, work_limit)?;
+    Ok(orders
         .iter()
-        .enumerate()
-        .all(|(i, o)| taken[i] || o.is_pending())
-    {
-        results.push(order.clone());
-        // Keep exploring: linearizations that additionally include pending writes are
-        // distinct and also valid, and are generated by the recursive calls below.
-    }
-    let candidate_idxs: Vec<usize> = (0..ops.len())
-        .filter(|&i| !taken[i])
-        .filter(|&i| {
-            (0..ops.len())
-                .filter(|&j| j != i && !taken[j])
-                .all(|j| !ops[j].precedes(ops[i]))
-        })
-        .collect();
-    for i in candidate_idxs {
-        let op = ops[i];
-        match &op.kind {
-            OpKind::Write(v) => {
-                let prev = state.insert(op.register, v.clone());
-                taken[i] = true;
-                order.push(i);
-                enumerate_rec(ops, init, taken, state, order, results, max_results);
-                order.pop();
-                taken[i] = false;
-                match prev {
-                    Some(p) => {
-                        state.insert(op.register, p);
-                    }
-                    None => {
-                        state.remove(&op.register);
-                    }
-                }
-            }
-            OpKind::Read(Some(v)) => {
-                let current = state.get(&op.register).unwrap_or(init);
-                if current == v {
-                    taken[i] = true;
-                    order.push(i);
-                    enumerate_rec(ops, init, taken, state, order, results, max_results);
-                    order.pop();
-                    taken[i] = false;
-                }
-            }
-            OpKind::Read(None) => {}
-        }
-    }
+        .map(|order| order_to_seq(history, engine.ops(), order))
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::history::HistoryBuilder;
-    use crate::ids::{OpId, ProcessId};
+    use crate::ids::{OpId, ProcessId, RegisterId};
 
     const R: RegisterId = RegisterId(0);
 
@@ -414,6 +254,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_register_witness_respects_cross_register_real_time() {
+        // Sequential chain alternating registers: the merged witness must interleave
+        // the per-register linearizations in real-time order.
+        let r1 = RegisterId(1);
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.write(ProcessId(0), r1, 10i64);
+        b.write(ProcessId(0), R, 2i64);
+        b.read(ProcessId(1), r1, 10i64);
+        b.read(ProcessId(1), R, 2i64);
+        b.write(ProcessId(0), r1, 20i64);
+        b.read(ProcessId(1), r1, 20i64);
+        let h = b.build();
+        let witness = check_linearizable(&h, &0).expect("linearizable");
+        assert!(witness.is_linearization_of(&h, &0));
+    }
+
+    #[test]
     fn the_paper_theorem6_pattern_is_linearizable() {
         // The key step of the Theorem 6 adversary: p0 writes [0,1], p1's write of [1,1]
         // overlaps all the players' reads; players read [0,1] then [1,1]. This must be
@@ -440,6 +298,21 @@ mod tests {
         let report = check_linearizable_report(&h, &0, DEFAULT_STATE_LIMIT);
         assert!(report.is_linearizable());
         assert!(report.states_explored >= 1);
+        assert!(!report.limit_hit);
+    }
+
+    #[test]
+    fn state_limit_aborts_and_is_reported() {
+        // Many concurrent pending writes plus a read: a tiny budget cannot finish.
+        let mut b = HistoryBuilder::new();
+        for i in 0..8 {
+            let _ = b.invoke_write(ProcessId(i), R, i as i64 + 1);
+        }
+        b.read(ProcessId(9), R, 4i64);
+        let h = b.build();
+        let report = check_linearizable_report(&h, &0, 2);
+        assert!(report.limit_hit);
+        assert!(!report.is_linearizable());
     }
 
     #[test]
@@ -466,6 +339,22 @@ mod tests {
         let all = enumerate_linearizations(&h, &0, 100);
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].write_ids(), vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn try_enumerate_reports_work_limit() {
+        let mut b = HistoryBuilder::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| b.invoke_write(ProcessId(i), R, i as i64 + 1))
+            .collect();
+        for id in ids {
+            b.respond_write(id);
+        }
+        let h = b.build();
+        let err = try_enumerate_linearizations(&h, &0, usize::MAX, 10).unwrap_err();
+        assert!(err.nodes_visited > 10);
+        // A generous cap succeeds on the same history.
+        assert!(try_enumerate_linearizations(&h, &0, 10, 1_000_000).is_ok());
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! The original (pre-engine) recursive checker, kept as an executable specification.
+//!
+//! This is the Wing–Gong search exactly as it shipped before the [`crate::engine`]
+//! rewrite: recursive, cloning a `(Vec<bool>, Vec<(RegisterId, V)>)` memo key at every
+//! node, and rescanning real-time precedence in `O(n²)` to find candidates. It is kept
+//! (not deleted) for two jobs:
+//!
+//! * **Differential testing** — the engine's verdicts are asserted equal to this
+//!   implementation's on thousands of randomized histories (`tests/differential.rs`).
+//! * **Baseline benchmarking** — `rlt-bench` measures the engine's speedup against
+//!   this checker on the same workloads, so the before/after numbers in
+//!   `EXPERIMENTS.md` stay reproducible from any checkout.
+//!
+//! Do not use it in production paths; [`crate::linearizability`] is faster on every
+//! workload and identical in semantics.
+
+use crate::history::History;
+use crate::ids::RegisterId;
+use crate::op::{OpKind, Operation};
+use crate::sequential::SeqHistory;
+use crate::value::RegisterValue;
+use std::collections::{BTreeMap, HashSet};
+
+struct Searcher<'a, V> {
+    ops: Vec<&'a Operation<V>>,
+    // The pre-engine memo key, kept verbatim: this type *is* the baseline being
+    // preserved (cloned bit-vector plus cloned state pairs at every node).
+    #[allow(clippy::type_complexity)]
+    visited: HashSet<(Vec<bool>, Vec<(RegisterId, V)>)>,
+    states_explored: u64,
+    state_limit: u64,
+}
+
+impl<'a, V: RegisterValue> Searcher<'a, V> {
+    fn new(history: &'a History<V>, state_limit: u64) -> Self {
+        // Keep completed operations and pending writes; drop pending reads.
+        let ops: Vec<&Operation<V>> = history
+            .operations()
+            .iter()
+            .filter(|o| o.is_complete() || o.is_write())
+            .collect();
+        Searcher {
+            ops,
+            visited: HashSet::new(),
+            states_explored: 0,
+            state_limit,
+        }
+    }
+
+    fn search(
+        &mut self,
+        init: &V,
+        taken: &mut Vec<bool>,
+        state: &mut BTreeMap<RegisterId, V>,
+        order: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        self.states_explored += 1;
+        if self.states_explored > self.state_limit {
+            return None;
+        }
+        if self
+            .ops
+            .iter()
+            .enumerate()
+            .all(|(i, o)| taken[i] || o.is_pending())
+        {
+            return Some(order.clone());
+        }
+
+        let memo_key = (
+            taken.clone(),
+            state
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect::<Vec<_>>(),
+        );
+        if !self.visited.insert(memo_key) {
+            return None;
+        }
+
+        let candidate_idxs: Vec<usize> = (0..self.ops.len())
+            .filter(|&i| !taken[i])
+            .filter(|&i| {
+                let oi = self.ops[i];
+                (0..self.ops.len())
+                    .filter(|&j| j != i && !taken[j])
+                    .all(|j| !self.ops[j].precedes(oi))
+            })
+            .collect();
+
+        for i in candidate_idxs {
+            let op = self.ops[i];
+            match &op.kind {
+                OpKind::Write(v) => {
+                    let prev = state.insert(op.register, v.clone());
+                    taken[i] = true;
+                    order.push(i);
+                    if let Some(found) = self.search(init, taken, state, order) {
+                        return Some(found);
+                    }
+                    order.pop();
+                    taken[i] = false;
+                    match prev {
+                        Some(p) => {
+                            state.insert(op.register, p);
+                        }
+                        None => {
+                            state.remove(&op.register);
+                        }
+                    }
+                }
+                OpKind::Read(Some(v)) => {
+                    let current = state.get(&op.register).unwrap_or(init);
+                    if current == v {
+                        taken[i] = true;
+                        order.push(i);
+                        if let Some(found) = self.search(init, taken, state, order) {
+                            return Some(found);
+                        }
+                        order.pop();
+                        taken[i] = false;
+                    }
+                }
+                OpKind::Read(None) => unreachable!("pending reads are filtered out"),
+            }
+        }
+        None
+    }
+}
+
+/// The pre-engine `check_linearizable`, verbatim. Returns a witness if `history` is
+/// linearizable within `state_limit` explored states.
+#[must_use]
+pub fn reference_check_linearizable<V: RegisterValue>(
+    history: &History<V>,
+    init: &V,
+    state_limit: u64,
+) -> Option<SeqHistory<V>> {
+    let mut searcher = Searcher::new(history, state_limit);
+    let n = searcher.ops.len();
+    let mut taken = vec![false; n];
+    let mut state = BTreeMap::new();
+    let mut order = Vec::new();
+    let result = searcher.search(init, &mut taken, &mut state, &mut order);
+    result.map(|order| {
+        let ops = order
+            .iter()
+            .map(|&i| {
+                let mut op = searcher.ops[i].clone();
+                if op.responded_at.is_none() {
+                    op.responded_at = Some(history.max_time().next());
+                }
+                op
+            })
+            .collect();
+        SeqHistory::from_ops(ops)
+    })
+}
+
+/// The pre-engine `enumerate_linearizations`, verbatim (unbounded recursion depth, no
+/// work cap — only use on small histories).
+#[must_use]
+pub fn reference_enumerate_linearizations<V: RegisterValue>(
+    history: &History<V>,
+    init: &V,
+    max_results: usize,
+) -> Vec<SeqHistory<V>> {
+    let ops: Vec<&Operation<V>> = history
+        .operations()
+        .iter()
+        .filter(|o| o.is_complete() || o.is_write())
+        .collect();
+    let mut results = Vec::new();
+    let mut taken = vec![false; ops.len()];
+    let mut state: BTreeMap<RegisterId, V> = BTreeMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    enumerate_rec(
+        &ops,
+        init,
+        &mut taken,
+        &mut state,
+        &mut order,
+        &mut results,
+        max_results,
+    );
+    results
+        .into_iter()
+        .map(|order| {
+            let seq_ops = order
+                .iter()
+                .map(|&i| {
+                    let mut op = ops[i].clone();
+                    if op.responded_at.is_none() {
+                        op.responded_at = Some(history.max_time().next());
+                    }
+                    op
+                })
+                .collect();
+            SeqHistory::from_ops(seq_ops)
+        })
+        .collect()
+}
+
+fn enumerate_rec<V: RegisterValue>(
+    ops: &[&Operation<V>],
+    init: &V,
+    taken: &mut Vec<bool>,
+    state: &mut BTreeMap<RegisterId, V>,
+    order: &mut Vec<usize>,
+    results: &mut Vec<Vec<usize>>,
+    max_results: usize,
+) {
+    if results.len() >= max_results {
+        return;
+    }
+    if ops
+        .iter()
+        .enumerate()
+        .all(|(i, o)| taken[i] || o.is_pending())
+    {
+        results.push(order.clone());
+        // Keep exploring: linearizations that additionally include pending writes are
+        // distinct and also valid, and are generated by the recursive calls below.
+    }
+    let candidate_idxs: Vec<usize> = (0..ops.len())
+        .filter(|&i| !taken[i])
+        .filter(|&i| {
+            (0..ops.len())
+                .filter(|&j| j != i && !taken[j])
+                .all(|j| !ops[j].precedes(ops[i]))
+        })
+        .collect();
+    for i in candidate_idxs {
+        let op = ops[i];
+        match &op.kind {
+            OpKind::Write(v) => {
+                let prev = state.insert(op.register, v.clone());
+                taken[i] = true;
+                order.push(i);
+                enumerate_rec(ops, init, taken, state, order, results, max_results);
+                order.pop();
+                taken[i] = false;
+                match prev {
+                    Some(p) => {
+                        state.insert(op.register, p);
+                    }
+                    None => {
+                        state.remove(&op.register);
+                    }
+                }
+            }
+            OpKind::Read(Some(v)) => {
+                let current = state.get(&op.register).unwrap_or(init);
+                if current == v {
+                    taken[i] = true;
+                    order.push(i);
+                    enumerate_rec(ops, init, taken, state, order, results, max_results);
+                    order.pop();
+                    taken[i] = false;
+                }
+            }
+            OpKind::Read(None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::ProcessId;
+    use crate::linearizability::check_linearizable;
+
+    const R: RegisterId = RegisterId(0);
+
+    #[test]
+    fn reference_and_engine_agree_on_basic_cases() {
+        let mut b = HistoryBuilder::new();
+        let w = b.invoke_write(ProcessId(0), R, 1i64);
+        let r = b.invoke_read(ProcessId(1), R);
+        b.respond_read(r, 1i64);
+        b.respond_write(w);
+        let h = b.build();
+        assert_eq!(
+            reference_check_linearizable(&h, &0, u64::MAX).is_some(),
+            check_linearizable(&h, &0).is_some()
+        );
+
+        let mut b = HistoryBuilder::new();
+        b.write(ProcessId(0), R, 1i64);
+        b.read(ProcessId(1), R, 0i64);
+        let h = b.build();
+        assert!(reference_check_linearizable(&h, &0, u64::MAX).is_none());
+        assert!(check_linearizable(&h, &0).is_none());
+    }
+}

@@ -137,8 +137,7 @@ fn check_prefix_property<V: RegisterValue>(
         let Some(seq) = strategy.linearize(&prefix) else {
             return Err(PrefixViolation {
                 prefix_time: t,
-                reason: "strategy failed to linearize the prefix (property L violated)"
-                    .to_string(),
+                reason: "strategy failed to linearize the prefix (property L violated)".to_string(),
                 prefix_sequence: Vec::new(),
                 extension_sequence: Vec::new(),
             });
@@ -236,9 +235,7 @@ mod tests {
         b.read(ProcessId(1), R, 1i64);
         b.write(ProcessId(0), R, 2i64);
         let h = b.build();
-        assert!(
-            check_write_strong_prefix_property(&invocation_order_strategy, &h, &0).is_ok()
-        );
+        assert!(check_write_strong_prefix_property(&invocation_order_strategy, &h, &0).is_ok());
     }
 
     #[test]
@@ -268,8 +265,7 @@ mod tests {
         struct ReadMover;
         impl LinearizationStrategy<i64> for ReadMover {
             fn linearize(&self, h: &History<i64>) -> Option<SeqHistory<i64>> {
-                let mut writes: Vec<_> =
-                    h.writes().filter(|w| w.is_complete()).cloned().collect();
+                let mut writes: Vec<_> = h.writes().filter(|w| w.is_complete()).cloned().collect();
                 writes.sort_by_key(|w| w.invoked_at);
                 let reads: Vec<_> = h.reads().filter(|r| r.is_complete()).cloned().collect();
                 let mut ops = Vec::new();

@@ -9,7 +9,9 @@
 //! family witnesses the impossibility.
 
 use crate::history::History;
-use crate::linearizability::enumerate_linearizations;
+use crate::linearizability::{
+    try_enumerate_linearizations, EnumerationLimitExceeded, DEFAULT_ENUMERATION_WORK_LIMIT,
+};
 use crate::sequential::SeqHistory;
 use crate::value::RegisterValue;
 use std::fmt;
@@ -43,7 +45,11 @@ impl<V> fmt::Display for FamilyReport<V> {
         writeln!(
             f,
             "family {} a prefix-preserving linearization ({} base linearizations examined)",
-            if self.admits { "admits" } else { "does not admit" },
+            if self.admits {
+                "admits"
+            } else {
+                "does not admit"
+            },
             self.base_linearizations.len()
         )?;
         for (i, blocked) in self.per_base_linearization.iter().enumerate() {
@@ -85,25 +91,64 @@ impl<V: RegisterValue> ExtensionFamily<V> {
     /// Returning `false` proves that no write strong-linearization function exists for
     /// any history set containing the base and all the extensions — the shape of the
     /// Theorem 13 argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if enumerating the linearizations of some member history exceeds the
+    /// default work cap; use [`ExtensionFamily::try_check_write_strong`] to handle
+    /// adversarial families as a value.
     #[must_use]
     pub fn check_write_strong(&self, max_linearizations: usize) -> FamilyReport<V> {
-        self.check(max_linearizations, Mode::WritesOnly)
+        self.try_check_write_strong(max_linearizations, DEFAULT_ENUMERATION_WORK_LIMIT)
+            .unwrap_or_else(|e| panic!("{e} while enumerating the family's linearizations"))
     }
 
     /// Checks whether the family admits a **strong linearization** (prefix property over
     /// the full operation sequence, Definition 3) — the Corollary 11 setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if enumeration exceeds the default work cap; see
+    /// [`ExtensionFamily::try_check_strong`].
     #[must_use]
     pub fn check_strong(&self, max_linearizations: usize) -> FamilyReport<V> {
-        self.check(max_linearizations, Mode::AllOperations)
+        self.try_check_strong(max_linearizations, DEFAULT_ENUMERATION_WORK_LIMIT)
+            .unwrap_or_else(|e| panic!("{e} while enumerating the family's linearizations"))
     }
 
-    fn check(&self, max_linearizations: usize, mode: Mode) -> FamilyReport<V> {
-        let base_lins = enumerate_linearizations(&self.base, &self.init, max_linearizations);
+    /// Like [`ExtensionFamily::check_write_strong`] but bounded: enumeration of each
+    /// member history visits at most `work_limit` search nodes before failing with
+    /// [`EnumerationLimitExceeded`] instead of hanging.
+    pub fn try_check_write_strong(
+        &self,
+        max_linearizations: usize,
+        work_limit: u64,
+    ) -> Result<FamilyReport<V>, EnumerationLimitExceeded> {
+        self.check(max_linearizations, work_limit, Mode::WritesOnly)
+    }
+
+    /// Like [`ExtensionFamily::check_strong`] but bounded by `work_limit`.
+    pub fn try_check_strong(
+        &self,
+        max_linearizations: usize,
+        work_limit: u64,
+    ) -> Result<FamilyReport<V>, EnumerationLimitExceeded> {
+        self.check(max_linearizations, work_limit, Mode::AllOperations)
+    }
+
+    fn check(
+        &self,
+        max_linearizations: usize,
+        work_limit: u64,
+        mode: Mode,
+    ) -> Result<FamilyReport<V>, EnumerationLimitExceeded> {
+        let base_lins =
+            try_enumerate_linearizations(&self.base, &self.init, max_linearizations, work_limit)?;
         let ext_lins: Vec<Vec<SeqHistory<V>>> = self
             .extensions
             .iter()
-            .map(|h| enumerate_linearizations(h, &self.init, max_linearizations))
-            .collect();
+            .map(|h| try_enumerate_linearizations(h, &self.init, max_linearizations, work_limit))
+            .collect::<Result<_, _>>()?;
         let mut per_base = Vec::new();
         let mut admits = false;
         for base_lin in &base_lins {
@@ -123,11 +168,11 @@ impl<V: RegisterValue> ExtensionFamily<V> {
             }
             per_base.push(blocked);
         }
-        FamilyReport {
+        Ok(FamilyReport {
             admits,
             per_base_linearization: per_base,
             base_linearizations: base_lins,
-        }
+        })
     }
 }
 
@@ -167,8 +212,7 @@ mod tests {
         let base = b.snapshot();
         b.write(ProcessId(1), R, 2i64);
         let ext = b.build();
-        let report =
-            ExtensionFamily::new(base, vec![ext], 0i64).check_write_strong(1_000);
+        let report = ExtensionFamily::new(base, vec![ext], 0i64).check_write_strong(1_000);
         assert!(report.admits);
         assert!(report.per_base_linearization.iter().any(|b| b.is_none()));
     }

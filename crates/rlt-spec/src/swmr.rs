@@ -90,8 +90,8 @@ pub fn effective_swmr_writes<V: RegisterValue>(h: &History<V>) -> Vec<OpId> {
 pub fn swmr_star<V: RegisterValue>(f_output: SeqHistory<V>, h: &History<V>) -> SeqHistory<V> {
     let ops = f_output.operations();
     if let Some(last) = ops.last() {
-        let incomplete_write = last.is_write()
-            && h.get(last.id).map(|o| o.is_pending()).unwrap_or(false);
+        let incomplete_write =
+            last.is_write() && h.get(last.id).map(|o| o.is_pending()).unwrap_or(false);
         if incomplete_write {
             return SeqHistory::from_ops(ops[..ops.len() - 1].to_vec());
         }

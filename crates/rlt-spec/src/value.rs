@@ -21,9 +21,10 @@ impl<T> RegisterValue for T where T: Clone + Eq + Ord + Hash + fmt::Debug {}
 /// * `Pair(i, j)` — the `[i, j]` tuples written into `R1` in line 3 of Algorithm 1.
 /// * `Tagged { val, tag }` — a value paired with an opaque integer tag, used by the
 ///   MWMR constructions where readers return `(v, ts)` tuples.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub enum Value {
     /// The register's initial value.
+    #[default]
     Init,
     /// The distinguished `⊥` value.
     Bot,
@@ -38,12 +39,6 @@ pub enum Value {
         /// The tag distinguishing the write that produced the payload.
         tag: u64,
     },
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Init
-    }
 }
 
 impl fmt::Display for Value {

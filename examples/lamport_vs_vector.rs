@@ -39,8 +39,12 @@ fn main() {
         if check_linearizable(&trace.history, &0).is_some() {
             alg2_ok += 1;
         }
-        if check_write_strong_prefix_property(&VectorStrategy::new(trace.clone()), &trace.history, &0)
-            .is_ok()
+        if check_write_strong_prefix_property(
+            &VectorStrategy::new(trace.clone()),
+            &trace.history,
+            &0,
+        )
+        .is_ok()
         {
             alg2_wsl_ok += 1;
         }

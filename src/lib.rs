@@ -1,0 +1,9 @@
+//! Workspace facade crate.
+//!
+//! Exists so the repo-root `tests/` (integration and property tests) and `examples/`
+//! have a package to hang off; all functionality lives in the `crates/rlt-*` members
+//! and is re-exported through [`rlt_core`].
+
+#![warn(missing_docs)]
+
+pub use rlt_core;

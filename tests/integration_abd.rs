@@ -4,7 +4,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlt_core::mp::AbdCluster;
 use rlt_core::spec::strategy::check_write_strong_prefix_property;
-use rlt_core::spec::swmr::{canonical_swmr_strategy, effective_swmr_writes, is_swmr_history, swmr_star};
+use rlt_core::spec::swmr::{
+    canonical_swmr_strategy, effective_swmr_writes, is_swmr_history, swmr_star,
+};
 use rlt_core::spec::{check_linearizable, ProcessId};
 
 fn adversarial_run(n: usize, writer: ProcessId, seed: u64, crash: Option<ProcessId>) -> AbdCluster {
@@ -21,7 +23,10 @@ fn adversarial_run(n: usize, writer: ProcessId, seed: u64, crash: Option<Process
         }
         for reader in 0..n {
             let reader = ProcessId(reader);
-            if reader != writer && !cluster.is_crashed(reader) && cluster.is_idle(reader) && rng.gen_bool(0.4)
+            if reader != writer
+                && !cluster.is_crashed(reader)
+                && cluster.is_idle(reader)
+                && rng.gen_bool(0.4)
             {
                 cluster.start_read(reader);
             }

@@ -14,7 +14,10 @@ fn theorem6_and_theorem7_dichotomy_end_to_end() {
         let atomic = run_game(RegisterMode::Atomic, &cfg, seed);
         assert!(!lin.all_returned, "seed {seed}: Theorem 6 violated");
         assert!(wsl.all_returned, "seed {seed}: Theorem 7 violated");
-        assert!(atomic.all_returned, "seed {seed}: atomic registers must terminate");
+        assert!(
+            atomic.all_returned,
+            "seed {seed}: atomic registers must terminate"
+        );
     }
 }
 
@@ -73,7 +76,13 @@ fn corollary9_wrapper_dichotomy() {
     assert!(!blocked.terminated());
     assert!(blocked.consensus.is_none());
 
-    let done = run_wrapped(RegisterMode::WriteStrongLinearizable, 4, inputs.clone(), 400, 5);
+    let done = run_wrapped(
+        RegisterMode::WriteStrongLinearizable,
+        4,
+        inputs.clone(),
+        400,
+        5,
+    );
     assert!(done.terminated());
     let consensus = done.consensus.unwrap();
     assert!(consensus.agreement_holds());
@@ -82,7 +91,9 @@ fn corollary9_wrapper_dichotomy() {
 
 #[test]
 fn bounded_variant_preserves_the_dichotomy() {
-    let cfg = GameConfig::new(4).with_max_rounds(60).with_bounded_registers();
+    let cfg = GameConfig::new(4)
+        .with_max_rounds(60)
+        .with_bounded_registers();
     assert!(!run_game(RegisterMode::Linearizable, &cfg, 1).all_returned);
     assert!(run_game(RegisterMode::WriteStrongLinearizable, &cfg, 1).all_returned);
 }
@@ -97,6 +108,10 @@ fn game_operations_use_the_three_shared_registers() {
     assert!(outcome.operations_recorded > 0);
     // Use the spec checker on a trivially constructed history to make sure the facade
     // crate exposes everything needed here.
-    mem.write(rlt_core::spec::ProcessId(0), rlt_core::game::R1, Value::Int(1));
+    mem.write(
+        rlt_core::spec::ProcessId(0),
+        rlt_core::game::R1,
+        Value::Int(1),
+    );
     assert!(check_linearizable(&mem.history(), &Value::Init).is_some());
 }

@@ -5,7 +5,9 @@
 use rlt_core::registers::algorithm2::VectorSim;
 use rlt_core::registers::algorithm3::{vector_linearization, VectorStrategy};
 use rlt_core::registers::algorithm4::LamportSim;
-use rlt_core::registers::counterexample::{build_base, continue_case1, continue_case2, theorem13_family};
+use rlt_core::registers::counterexample::{
+    build_base, continue_case1, continue_case2, theorem13_family,
+};
 use rlt_core::registers::schedule::{random_run, WorkloadParams};
 use rlt_core::registers::threaded::{LamportRegister, VectorRegister};
 use rlt_core::spec::strategy::check_write_strong_prefix_property;

@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a plain wall-clock harness:
+//! each benchmark is warmed up for `warm_up_time`, then timed in batches until
+//! `measurement_time` elapses, and the mean per-iteration time is printed. No
+//! statistics, plots, or baselines; the numbers are honest means, which is all the
+//! in-repo tooling (`EXPERIMENTS.md`, `BENCH_checkers.json`) consumes.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        }
+    }
+}
+
+/// Identifier of one benchmark inside a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the harness sizes runs by wall time, not samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label.clone(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up_time,
+            },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure {
+            until: Instant::now() + self.measurement_time,
+        };
+        bencher.total = Duration::ZERO;
+        bencher.iters = 0;
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total
+                / u32::try_from(bencher.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        println!("  {label}: {mean:?}/iter ({} iters)", bencher.iters);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { until: Instant },
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly until the current phase's time budget is spent,
+    /// timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let until = match self.mode {
+            Mode::WarmUp { until } | Mode::Measure { until } => until,
+        };
+        loop {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            drop(out);
+            self.total += elapsed;
+            self.iters += 1;
+            if Instant::now() >= until {
+                break;
+            }
+        }
+    }
+}
+
+/// Defines a function running a list of benchmark targets, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(smoke_group, sample_bench);
+
+    #[test]
+    fn macro_generated_group_is_callable() {
+        // Keep the run tiny: the macro group uses the default config, so just check the
+        // function exists and is callable from a thread with a small stack of work.
+        let _ = smoke_group as fn();
+    }
+}

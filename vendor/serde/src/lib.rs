@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, and the repo only ever
+//! uses `#[derive(Serialize, Deserialize)]` markers (no bounds, no serializers), so
+//! this crate re-exports no-op derive macros under the familiar names. Swapping in the
+//! real `serde` later is a one-line Cargo change.
+
+pub use serde_derive::{Deserialize, Serialize};
