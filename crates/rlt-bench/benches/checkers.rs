@@ -1,17 +1,19 @@
-//! Experiment E10 (engineering): scaling of the analysis tools.
+//! Experiments E10/E11 (engineering): scaling of the analysis tools.
 //!
 //! * The general-purpose linearizability checker (backtracking with memoization) vs
-//!   history length.
+//!   history length (E10).
+//! * The fork-join engine across thread-pool widths, single checks and batches (E11).
 //! * Algorithm 3 (the on-line write strong-linearization function) vs trace length — it
 //!   runs in low polynomial time, which is why the write-strong prefix checks over all
 //!   prefixes are feasible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rlt_bench::{lamport_workload, vector_workload};
+use rlt_bench::{lamport_workload, multi_register_workload, vector_workload};
 use rlt_registers::algorithm3::vector_linearization;
 use rlt_spec::check_linearizable;
-use rlt_spec::linearizability::DEFAULT_STATE_LIMIT;
+use rlt_spec::linearizability::{check_linearizable_batch, DEFAULT_STATE_LIMIT};
 use rlt_spec::reference::reference_check_linearizable;
+use rlt_spec::History;
 use std::hint::black_box;
 
 fn linearizability_checker(c: &mut Criterion) {
@@ -47,6 +49,46 @@ fn engine_vs_reference(c: &mut Criterion) {
             black_box(reference_check_linearizable(&history, &0, DEFAULT_STATE_LIMIT).is_some())
         });
     });
+    group.finish();
+}
+
+fn parallel_engine_scaling(c: &mut Criterion) {
+    // Experiment E11: the fork-join engine across pool widths on the multi-register
+    // composition workload, single checks and 16-history batches. Results are
+    // bit-identical across widths (pinned by the rlt-spec `parallel` suite); only
+    // wall time may move. On a single-core host expect flat-to-slightly-worse
+    // single-check numbers at width > 1 (pool overhead with no extra hardware) and
+    // batch numbers dominated by the per-history check cost.
+    let mut group = c.benchmark_group("parallel_engine_multi_register_3x");
+    group.sample_size(20);
+    let history = multi_register_workload(3, 80, 7);
+    let batch: Vec<History<i64>> = (0..16)
+        .map(|s| multi_register_workload(3, 80, 7 + s))
+        .collect();
+    for &threads in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        group.bench_with_input(
+            BenchmarkId::new("single_check_threads", threads),
+            &history,
+            |b, h| {
+                b.iter(|| pool.install(|| black_box(check_linearizable(h, &0).is_some())));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch16_threads", threads),
+            &batch,
+            |b, hs| {
+                b.iter(|| {
+                    pool.install(|| {
+                        black_box(check_linearizable_batch(hs, &0, DEFAULT_STATE_LIMIT).len())
+                    })
+                });
+            },
+        );
+    }
     group.finish();
 }
 
@@ -88,6 +130,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = linearizability_checker, engine_vs_reference, algorithm3_linearization, algorithm3_vs_general_checker
+    targets = linearizability_checker, engine_vs_reference, parallel_engine_scaling, algorithm3_linearization, algorithm3_vs_general_checker
 }
 criterion_main!(benches);

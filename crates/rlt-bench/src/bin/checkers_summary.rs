@@ -1,19 +1,35 @@
-//! Machine-readable summary of linearizability-checker scaling.
+//! Machine-readable summaries of the repo's benchmark experiments.
 //!
-//! Runs both the engine-backed `check_linearizable_report` and the pre-engine
-//! reference checker (`rlt_spec::reference`) on the `lamport_history` workloads used
-//! by `benches/checkers.rs` (single-register, 3 processes) and on multi-register
-//! workloads assembled from independent per-register runs. Writes
-//! `BENCH_checkers.json` with mean wall time and `states_explored` per workload size
-//! so the perf trajectory is tracked across PRs (see `EXPERIMENTS.md`, experiment
-//! E10). The reference checker only runs up to its historical 80-decision ceiling.
+//! Emits three JSON artifacts so every experiment has a tracked perf trajectory
+//! across PRs (see `EXPERIMENTS.md`):
 //!
-//! Usage: `cargo run --release -p rlt-bench --bin checkers_summary [out.json]`
+//! * `BENCH_checkers.json` — experiments E10 (checker scaling) and E11 (parallel
+//!   engine scaling): the engine-backed `check_linearizable_report` vs the pre-engine
+//!   reference checker on the `lamport_history` and `multi_register_3x` workloads,
+//!   plus the fork-join engine across thread-pool widths (single checks through
+//!   `ThreadPool::install`, 16-history batches through `check_linearizable_batch`).
+//!   Every row carries a `threads` field; `threads: 1` rows are the sequential
+//!   engine, directly comparable with earlier PRs' rows.
+//! * `BENCH_game.json` — experiment E2: cost of 10-round Figure 1/2 games per
+//!   register mode and process count, plus full termination experiments.
+//! * `BENCH_abd.json` — experiment E3: ABD write+read round-trip cost as the cluster
+//!   grows and under minority crashes.
+//!
+//! Usage: `cargo run --release -p rlt-bench --bin checkers_summary \
+//!     [checkers.json [game.json [abd.json]]]`
+//! (defaults: `BENCH_checkers.json`, `BENCH_game.json`, `BENCH_abd.json`)
 
-use rlt_bench::lamport_workload;
-use rlt_spec::linearizability::{check_linearizable_report, DEFAULT_STATE_LIMIT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlt_bench::{lamport_workload, multi_register_workload};
+use rlt_game::{run_game, termination_experiment, GameConfig};
+use rlt_mp::AbdCluster;
+use rlt_sim::RegisterMode;
+use rlt_spec::linearizability::{
+    check_linearizable_batch, check_linearizable_report, DEFAULT_STATE_LIMIT,
+};
 use rlt_spec::reference::reference_check_linearizable;
-use rlt_spec::{History, Operation, RegisterId};
+use rlt_spec::{History, ProcessId};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -22,13 +38,19 @@ use std::time::Instant;
 const SINGLE_REGISTER_SIZES: &[usize] = &[20, 40, 80, 160, 320];
 
 /// Decision counts per register for the multi-register composition series.
-const MULTI_REGISTER_SIZES: &[usize] = &[20, 40, 80];
+const MULTI_REGISTER_SIZES: &[usize] = &[20, 40, 80, 160];
 
 /// Registers in the multi-register series.
 const MULTI_REGISTERS: usize = 3;
 
 /// Sizes the reference checker participates in (its historical bench ceiling).
 const REFERENCE_CEILING: usize = 80;
+
+/// Pool widths measured by the E11 parallel rows.
+const THREAD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Histories per batch in the `engine_batch` rows.
+const BATCH_SIZE: u64 = 16;
 
 /// Wall-time budget per measured point; iterations repeat until it is spent.
 const MEASURE_BUDGET_NANOS: u128 = 200_000_000;
@@ -37,6 +59,7 @@ struct Row {
     checker: &'static str,
     workload: String,
     ops: usize,
+    threads: usize,
     linearizable: bool,
     states_explored: u64,
     states_memoized: u64,
@@ -74,12 +97,71 @@ fn measure_engine(workload: &str, history: &History<i64>) -> Row {
         checker: "engine",
         workload: workload.to_string(),
         ops: history.len(),
+        threads: 1,
         linearizable,
         states_explored: probe.states_explored,
         states_memoized: probe.states_memoized,
         mean_wall_nanos,
         iterations,
         limit_hit: probe.limit_hit,
+    }
+}
+
+/// One full check through a pool of the given width (the per-register sub-searches
+/// fork-join across the pool).
+fn measure_engine_parallel(workload: &str, history: &History<i64>, threads: usize) -> Row {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool");
+    let probe = pool.install(|| check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT));
+    let (mean_wall_nanos, iterations, linearizable) = mean_time(|| {
+        pool.install(|| {
+            check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT)
+                .witness
+                .is_some()
+        })
+    });
+    Row {
+        checker: "engine_parallel",
+        workload: workload.to_string(),
+        ops: history.len(),
+        threads,
+        linearizable,
+        states_explored: probe.states_explored,
+        states_memoized: probe.states_memoized,
+        mean_wall_nanos,
+        iterations,
+        limit_hit: probe.limit_hit,
+    }
+}
+
+/// A 16-history batch fanned across the pool; `mean_wall_nanos` is per *history* so
+/// the row is directly comparable with the single-check rows.
+fn measure_engine_batch(workload: &str, histories: &[History<i64>], threads: usize) -> Row {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool");
+    let probe = pool.install(|| check_linearizable_batch(histories, &0, DEFAULT_STATE_LIMIT));
+    let (mean_batch_nanos, iterations, linearizable) = mean_time(|| {
+        pool.install(|| {
+            check_linearizable_batch(histories, &0, DEFAULT_STATE_LIMIT)
+                .iter()
+                .all(|r| r.witness.is_some())
+        })
+    });
+    Row {
+        checker: "engine_batch",
+        workload: workload.to_string(),
+        ops: histories.iter().map(History::len).sum::<usize>() / histories.len(),
+        threads,
+        linearizable,
+        states_explored: probe.iter().map(|r| r.states_explored).sum(),
+        states_memoized: probe.iter().map(|r| r.states_memoized).sum(),
+        mean_wall_nanos: mean_batch_nanos / histories.len().max(1) as u128,
+        iterations,
+        limit_hit: probe.iter().any(|r| r.limit_hit),
     }
 }
 
@@ -90,6 +172,7 @@ fn measure_reference(workload: &str, history: &History<i64>) -> Row {
         checker: "reference",
         workload: workload.to_string(),
         ops: history.len(),
+        threads: 1,
         linearizable,
         states_explored: 0, // the reference API reports no statistics
         states_memoized: 0,
@@ -99,36 +182,12 @@ fn measure_reference(workload: &str, history: &History<i64>) -> Row {
     }
 }
 
-/// Interleaves `k` independent single-register histories into one multi-register
-/// history: ids, times, and registers are remapped so the per-register subhistories
-/// keep their internal structure while sharing one global timeline.
-fn multi_register_workload(k: usize, decisions: usize, seed: u64) -> History<i64> {
-    let mut ops: Vec<Operation<i64>> = Vec::new();
-    let mut next_id = 0u64;
-    for r in 0..k {
-        let h = lamport_workload(3, decisions, seed + r as u64);
-        for op in h.operations() {
-            let mut op = op.clone();
-            op.id = rlt_spec::OpId(next_id);
-            next_id += 1;
-            op.register = RegisterId(r);
-            // Spread each register's events over disjoint residues mod k so times stay
-            // globally unique while preserving within-register order.
-            op.invoked_at = rlt_spec::Time(op.invoked_at.0 * k as u64 + r as u64);
-            if let Some(t) = op.responded_at {
-                op.responded_at = Some(rlt_spec::Time(t.0 * k as u64 + r as u64));
-            }
-            ops.push(op);
-        }
-    }
-    History::from_operations(ops)
-}
-
 fn log_row(r: &Row) {
     eprintln!(
-        "{:>9} {}: {} ops, {} states, {:.3} ms/iter over {} iters{}",
+        "{:>15} {} (t={}): {} ops, {} states, {:.3} ms/iter over {} iters{}",
         r.checker,
         r.workload,
+        r.threads,
         r.ops,
         r.states_explored,
         r.mean_wall_nanos as f64 / 1e6,
@@ -137,11 +196,7 @@ fn log_row(r: &Row) {
     );
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_checkers.json".to_string());
-
+fn checker_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     for &decisions in SINGLE_REGISTER_SIZES {
         let history = lamport_workload(3, decisions, 7);
@@ -166,19 +221,42 @@ fn main() {
             log_row(&row);
             rows.push(row);
         }
+        // E11: pool widths > 1 on the same workload, single check and batch.
+        for &threads in THREAD_COUNTS {
+            if threads > 1 {
+                let row = measure_engine_parallel(&name, &history, threads);
+                log_row(&row);
+                rows.push(row);
+            }
+        }
+        let batch: Vec<History<i64>> = (0..BATCH_SIZE)
+            .map(|s| multi_register_workload(MULTI_REGISTERS, decisions, 7 + s))
+            .collect();
+        for &threads in THREAD_COUNTS {
+            let row = measure_engine_batch(&name, &batch, threads);
+            log_row(&row);
+            rows.push(row);
+        }
     }
+    rows
+}
 
+fn write_checkers_json(rows: &[Row], out_path: &str) {
     // Hand-rolled JSON: the workspace deliberately has no serialization dependency.
-    let mut json = String::from("{\n  \"experiment\": \"E10-checker-scaling\",\n  \"rows\": [\n");
+    let mut json = String::from(
+        "{\n  \"experiment\": \"E10-E11-checker-and-parallel-scaling\",\n  \"rows\": [\n",
+    );
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"checker\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \
-             \"linearizable\": {}, \"states_explored\": {}, \"states_memoized\": {}, \
-             \"mean_wall_nanos\": {}, \"iterations\": {}, \"limit_hit\": {}}}{}",
+             \"threads\": {}, \"linearizable\": {}, \"states_explored\": {}, \
+             \"states_memoized\": {}, \"mean_wall_nanos\": {}, \"iterations\": {}, \
+             \"limit_hit\": {}}}{}",
             r.checker,
             r.workload,
             r.ops,
+            r.threads,
             r.linearizable,
             r.states_explored,
             r.states_memoized,
@@ -189,6 +267,195 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write summary JSON");
+    std::fs::write(out_path, &json).expect("write checkers summary JSON");
     eprintln!("wrote {out_path}");
+}
+
+fn write_game_json(out_path: &str) {
+    // E2: per-mode cost of 10-round games (the benches/game.rs workload) and of a
+    // 100-trial termination experiment.
+    struct GameRow {
+        bench: &'static str,
+        mode: &'static str,
+        processes: usize,
+        mean_wall_nanos: u128,
+        iterations: u64,
+        /// `None` when no trial terminated (serialized as JSON `null`, never `NaN`).
+        mean_rounds: Option<f64>,
+    }
+    let mut rows: Vec<GameRow> = Vec::new();
+    for &n in &[4usize, 8] {
+        let cfg = GameConfig::new(n).with_max_rounds(10);
+        for (label, mode) in [
+            ("linearizable", RegisterMode::Linearizable),
+            ("write_strong", RegisterMode::WriteStrongLinearizable),
+            ("atomic", RegisterMode::Atomic),
+        ] {
+            let mut seed = 0u64;
+            let mut total_rounds = 0u64;
+            let mut runs = 0u64;
+            let (mean_wall_nanos, iterations, _) = mean_time(|| {
+                seed += 1;
+                let outcome = run_game(mode, &cfg, seed);
+                total_rounds += outcome.rounds_executed;
+                runs += 1;
+                outcome.all_returned
+            });
+            rows.push(GameRow {
+                bench: "game_10_rounds",
+                mode: label,
+                processes: n,
+                mean_wall_nanos,
+                iterations,
+                mean_rounds: Some(total_rounds as f64 / runs as f64),
+            });
+        }
+    }
+    let cfg = GameConfig::new(5).with_max_rounds(64);
+    for (label, mode) in [
+        ("write_strong", RegisterMode::WriteStrongLinearizable),
+        ("atomic", RegisterMode::Atomic),
+    ] {
+        let mut last_mean_round = None;
+        let (mean_wall_nanos, iterations, _) = mean_time(|| {
+            let stats = termination_experiment(mode, &cfg, 100, 3);
+            last_mean_round = stats.mean_termination_round;
+            stats.terminated_fraction > 0.99
+        });
+        rows.push(GameRow {
+            bench: "termination_experiment_100_trials",
+            mode: label,
+            processes: 5,
+            mean_wall_nanos,
+            iterations,
+            mean_rounds: last_mean_round,
+        });
+    }
+    let mut json = String::from("{\n  \"experiment\": \"E2-game-cost\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let mean_rounds_json = r
+            .mean_rounds
+            .map_or_else(|| "null".to_string(), |m| format!("{m:.3}"));
+        eprintln!(
+            "{:>15} {} n={}: {:.3} ms/iter over {} iters (mean rounds {})",
+            r.bench,
+            r.mode,
+            r.processes,
+            r.mean_wall_nanos as f64 / 1e6,
+            r.iterations,
+            mean_rounds_json
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"processes\": {}, \
+             \"mean_wall_nanos\": {}, \"iterations\": {}, \"mean_rounds\": {}}}{}",
+            r.bench,
+            r.mode,
+            r.processes,
+            r.mean_wall_nanos,
+            r.iterations,
+            mean_rounds_json,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write game summary JSON");
+    eprintln!("wrote {out_path}");
+}
+
+fn write_abd_json(out_path: &str) {
+    // E3: write+read round-trip cost vs cluster size, and under minority crashes.
+    struct AbdRow {
+        bench: &'static str,
+        processes: usize,
+        crashes: usize,
+        mean_wall_nanos: u128,
+        iterations: u64,
+        history_ops: usize,
+    }
+    let mut rows: Vec<AbdRow> = Vec::new();
+    for &n in &[3usize, 5, 9, 15] {
+        let mut history_ops = 0usize;
+        let (mean_wall_nanos, iterations, _) = mean_time(|| {
+            let mut cluster = AbdCluster::new(n, ProcessId(0));
+            let mut rng = StdRng::seed_from_u64(1);
+            cluster.start_write(7);
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            cluster.start_read(ProcessId(1));
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            history_ops = cluster.history().len();
+            history_ops > 0
+        });
+        rows.push(AbdRow {
+            bench: "abd_write_then_read",
+            processes: n,
+            crashes: 0,
+            mean_wall_nanos,
+            iterations,
+            history_ops,
+        });
+    }
+    for &crashes in &[1usize, 2] {
+        let mut history_ops = 0usize;
+        let (mean_wall_nanos, iterations, _) = mean_time(|| {
+            let mut cluster = AbdCluster::new(5, ProcessId(0));
+            let mut rng = StdRng::seed_from_u64(2);
+            for i in 0..crashes {
+                cluster.crash(ProcessId(4 - i));
+            }
+            cluster.start_write(1);
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            cluster.start_read(ProcessId(1));
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            history_ops = cluster.history().len();
+            history_ops > 0
+        });
+        rows.push(AbdRow {
+            bench: "abd_minority_crashes",
+            processes: 5,
+            crashes,
+            mean_wall_nanos,
+            iterations,
+            history_ops,
+        });
+    }
+    let mut json = String::from("{\n  \"experiment\": \"E3-abd-cost\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        eprintln!(
+            "{:>15} n={} crashes={}: {:.3} ms/iter over {} iters ({} history ops)",
+            r.bench,
+            r.processes,
+            r.crashes,
+            r.mean_wall_nanos as f64 / 1e6,
+            r.iterations,
+            r.history_ops
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"bench\": \"{}\", \"processes\": {}, \"crashes\": {}, \
+             \"mean_wall_nanos\": {}, \"iterations\": {}, \"history_ops\": {}}}{}",
+            r.bench,
+            r.processes,
+            r.crashes,
+            r.mean_wall_nanos,
+            r.iterations,
+            r.history_ops,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write ABD summary JSON");
+    eprintln!("wrote {out_path}");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let checkers_path = args.next().unwrap_or_else(|| "BENCH_checkers.json".into());
+    let game_path = args.next().unwrap_or_else(|| "BENCH_game.json".into());
+    let abd_path = args.next().unwrap_or_else(|| "BENCH_abd.json".into());
+
+    let rows = checker_rows();
+    write_checkers_json(&rows, &checkers_path);
+    write_game_json(&game_path);
+    write_abd_json(&abd_path);
 }

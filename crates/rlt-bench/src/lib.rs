@@ -17,7 +17,7 @@
 use rlt_registers::algorithm2::VectorSim;
 use rlt_registers::algorithm4::LamportSim;
 use rlt_registers::schedule::{random_run, MwmrStepSim, WorkloadParams};
-use rlt_spec::History;
+use rlt_spec::{History, Operation, RegisterId};
 
 /// Builds an Algorithm 2 trace from a seeded random workload (used by the checker
 /// benchmarks so the workload generation is not measured).
@@ -50,6 +50,33 @@ pub fn lamport_workload(n: usize, decisions: usize, seed: u64) -> History<i64> {
     sim.recorded_history()
 }
 
+/// Interleaves `k` independent single-register histories into one multi-register
+/// history: ids, times, and registers are remapped so the per-register subhistories
+/// keep their internal structure while sharing one global timeline. Used by the
+/// checker benchmarks and by `checkers_summary` (experiments E10/E11).
+#[must_use]
+pub fn multi_register_workload(k: usize, decisions: usize, seed: u64) -> History<i64> {
+    let mut ops: Vec<Operation<i64>> = Vec::new();
+    let mut next_id = 0u64;
+    for r in 0..k {
+        let h = lamport_workload(3, decisions, seed + r as u64);
+        for op in h.operations() {
+            let mut op = op.clone();
+            op.id = rlt_spec::OpId(next_id);
+            next_id += 1;
+            op.register = RegisterId(r);
+            // Spread each register's events over disjoint residues mod k so times stay
+            // globally unique while preserving within-register order.
+            op.invoked_at = rlt_spec::Time(op.invoked_at.0 * k as u64 + r as u64);
+            if let Some(t) = op.responded_at {
+                op.responded_at = Some(rlt_spec::Time(t.0 * k as u64 + r as u64));
+            }
+            ops.push(op);
+        }
+    }
+    History::from_operations(ops)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +87,14 @@ mod tests {
         assert!(!sim.history().is_empty());
         let h = lamport_workload(3, 30, 1);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn multi_register_workload_spans_k_registers() {
+        let h = multi_register_workload(3, 20, 7);
+        let mut regs: Vec<_> = h.operations().iter().map(|o| o.register).collect();
+        regs.sort_unstable();
+        regs.dedup();
+        assert_eq!(regs.len(), 3);
     }
 }

@@ -24,19 +24,42 @@
 //!    union of the witness orders with the real-time relation. This turns one
 //!    exponential joint search into several much smaller ones.
 //!
-//! [`Engine::enumerate`] intentionally stays a *joint* search: enumeration must yield
-//! every interleaving of the per-register linearizations, so composition does not
-//! apply, but interning, bitsets, and the iterative driver still do. Enumeration is
-//! bounded by an explicit work cap so adversarial inputs fail loudly instead of
-//! hanging.
+//! Two parallel/lazy layers sit on top (this is where the `vendor/rayon` fork-join
+//! pool comes in):
+//!
+//! 5. **Parallel per-register search** — the per-register sub-searches are independent,
+//!    so [`Engine::check`] fans them across the current rayon pool and then *replays*
+//!    the sequential shared-budget accounting over the per-search statistics. The
+//!    replay makes the parallel path bit-identical to [`Engine::check_sequential`]:
+//!    same verdict, same witness, same statistics, at any thread count. When the
+//!    replay detects that the sequential pass would have exhausted its budget (whose
+//!    truncation point depends on the shared-budget interleaving), it reruns
+//!    sequentially rather than guessing — limit-hit searches are the rare adversarial
+//!    case, and determinism there matters more than speed. [`Engine::check_many`]
+//!    fans whole histories (build + check) across the pool the same way, which is the
+//!    shape the differential suites and adversary sweeps actually run.
+//! 6. **Per-register enumeration with a lazy interleaving product** —
+//!    [`Engine::enumerate`] on a multi-register history first enumerates each
+//!    register's linearizations separately, folds them into per-register prefix
+//!    tries, and then walks the *product* of the tries lazily, interleaving under the
+//!    global real-time relation. The product DFS visits only prefixes of valid
+//!    per-register linearizations (the joint search also wades through
+//!    state-inconsistent dead ends), emits orders in **exactly** the joint search's
+//!    order, and stops as soon as `max_results` orders exist. Enumeration stays
+//!    bounded by an explicit work cap — per-register search nodes plus product nodes —
+//!    so adversarial inputs fail loudly instead of hanging. One register whose *own*
+//!    linearization space blows the budget makes the product's discovery stage
+//!    impossible, so that case falls back to the joint DFS (lazily bounded by
+//!    `max_results`, like the pre-product enumerator); total work stays within 2x
+//!    the cap.
 
 use crate::history::History;
-use crate::ids::RegisterId;
+use crate::ids::{RegisterId, Time};
 use crate::op::{OpKind, Operation};
 use crate::value::RegisterValue;
-use std::cell::OnceCell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::OnceLock;
 
 // ---------------------------------------------------------------------------
 // Fast hashing
@@ -170,15 +193,28 @@ impl SubProblem {
         let n = local_ops.len();
         let words = words_for(n).max(1);
         let mut preds = vec![0u64; n * words];
-        for (i, a) in local_ops.iter().enumerate() {
-            let row = &mut preds[i * words..(i + 1) * words];
-            let inv = ops[a.global as usize].invoked_at;
-            for (j, b) in local_ops.iter().enumerate() {
-                // b precedes a iff b responded before a was invoked.
-                if i != j && ops[b.global as usize].responded_at.is_some_and(|r| r < inv) {
-                    row[j / WORD_BITS] |= 1u64 << (j % WORD_BITS);
-                }
+        // Sweep in invocation order, accumulating a running bitset of the ops that
+        // have already responded: row(i) = { j : resp(j) < inv(i) }, i.e. "j precedes
+        // i". One sorted pass plus a bitset copy per row replaces the previous
+        // all-pairs rescan, and produces a bit-identical matrix.
+        let mut by_inv: Vec<u32> = (0..n as u32).collect();
+        by_inv.sort_unstable_by_key(|&i| ops[local_ops[i as usize].global as usize].invoked_at);
+        let mut by_resp: Vec<(Time, u32)> = local_ops
+            .iter()
+            .enumerate()
+            .filter_map(|(j, op)| ops[op.global as usize].responded_at.map(|t| (t, j as u32)))
+            .collect();
+        by_resp.sort_unstable();
+        let mut running = vec![0u64; words];
+        let mut responded = 0usize;
+        for &i in &by_inv {
+            let inv = ops[local_ops[i as usize].global as usize].invoked_at;
+            while responded < by_resp.len() && by_resp[responded].0 < inv {
+                let j = by_resp[responded].1 as usize;
+                running[j / WORD_BITS] |= 1u64 << (j % WORD_BITS);
+                responded += 1;
             }
+            preds[i as usize * words..(i as usize + 1) * words].copy_from_slice(&running);
         }
         let completed = local_ops.iter().filter(|o| o.completed).count();
         SubProblem {
@@ -211,6 +247,13 @@ impl SubProblem {
         key.into_boxed_slice()
     }
 
+    /// Returns `true` if every real-time predecessor of local op `i` is in `taken`.
+    #[inline]
+    fn preds_satisfied(&self, i: usize, taken: &[u64]) -> bool {
+        let row = &self.preds[i * self.words..(i + 1) * self.words];
+        row.iter().zip(taken.iter()).all(|(p, t)| p & !t == 0)
+    }
+
     /// Returns `true` if local op `i` is a Wing–Gong candidate: untaken, real-time
     /// minimal among untaken ops, and consistent with the current register state.
     #[inline]
@@ -221,11 +264,8 @@ impl SubProblem {
             return false;
         }
         // All predecessors must already be linearized.
-        let row = &self.preds[i * self.words..(i + 1) * self.words];
-        for (p, t) in row.iter().zip(taken.iter()) {
-            if p & !t != 0 {
-                return false;
-            }
+        if !self.preds_satisfied(i, taken) {
+            return false;
         }
         let op = &self.ops[i];
         // Writes are always applicable; completed reads must match the state.
@@ -379,18 +419,18 @@ fn search_witness(sub: &SubProblem, budget: &mut u64, stats: &mut SearchStats) -
     None
 }
 
-/// Depth-first enumeration of **every** linearization order of `sub` (a joint
-/// subproblem over all registers), recording an order at each node where all completed
-/// ops are linearized — the same node set the original recursive enumerator visited.
-/// Stops successfully once `max_results` orders are collected; aborts with the number
-/// of nodes visited if `work_limit` nodes are exceeded.
+/// Depth-first enumeration of **every** linearization order of `sub`, recording an
+/// order at each node where all completed ops are linearized — the same node set the
+/// original recursive enumerator visited. Stops successfully once `max_results` orders
+/// are collected, returning the orders plus the number of nodes visited; aborts with
+/// the node count if `work_limit` nodes are exceeded.
 ///
 /// The apply/undo frame bookkeeping mirrors [`search_witness`]; keep the two in sync.
 fn enumerate_orders(
     sub: &SubProblem,
     max_results: usize,
     work_limit: u64,
-) -> Result<Vec<Vec<u32>>, u64> {
+) -> Result<(Vec<Vec<u32>>, u64), u64> {
     let n = sub.ops.len();
     let words = words_for(n);
     let mut taken = vec![0u64; words];
@@ -414,7 +454,7 @@ fn enumerate_orders(
                 return Err(nodes);
             }
             if results.len() >= max_results {
-                return Ok(results);
+                return Ok((results, nodes));
             }
             if taken_completed == sub.completed {
                 results.push(order.clone());
@@ -465,7 +505,178 @@ fn enumerate_orders(
             }
         }
     }
-    Ok(results)
+    Ok((results, nodes))
+}
+
+// ---------------------------------------------------------------------------
+// Lazy interleaving product (multi-register enumeration)
+// ---------------------------------------------------------------------------
+
+/// Prefix trie over one register's linearization orders, keyed by **global** op
+/// indices. `children[node]` lists `(global op, child node)` in ascending op order —
+/// guaranteed by inserting the orders in the DFS pre-order [`enumerate_orders`] emits
+/// them in — and `accepting[node]` marks paths that are themselves complete
+/// linearizations of the register (all its completed ops taken).
+struct OrderTrie {
+    children: Vec<Vec<(u32, u32)>>,
+    accepting: Vec<bool>,
+}
+
+impl OrderTrie {
+    fn build(sub: &SubProblem, orders: &[Vec<u32>]) -> OrderTrie {
+        let mut trie = OrderTrie {
+            children: vec![Vec::new()],
+            accepting: vec![false],
+        };
+        for order in orders {
+            let mut node = 0usize;
+            for &local in order {
+                let global = sub.ops[local as usize].global;
+                // Pre-order emission means the edge being extended, if present, is the
+                // most recently added child; scan from the back.
+                let found = trie.children[node]
+                    .iter()
+                    .rev()
+                    .find(|&&(op, _)| op == global)
+                    .map(|&(_, child)| child as usize);
+                node = match found {
+                    Some(child) => child,
+                    None => {
+                        let child = trie.children.len();
+                        trie.children[node].push((global, child as u32));
+                        trie.children.push(Vec::new());
+                        trie.accepting.push(false);
+                        child
+                    }
+                };
+            }
+            trie.accepting[node] = true;
+        }
+        trie
+    }
+}
+
+/// A frame of the product DFS: the register that advanced to enter this frame, the
+/// trie node it came from, the op applied, and the resume point of the candidate scan.
+#[derive(Debug, Clone, Copy)]
+struct ProductFrame {
+    reg: u32,
+    prev_node: u32,
+    op: u32,
+    scan: u32,
+}
+
+/// Lazily enumerates every interleaving of the per-register linearizations in `tries`
+/// that respects the global real-time relation of `joint` — which is exactly the set
+/// of joint linearization orders — in exactly the order the joint DFS emits them
+/// (candidates scanned in ascending global op index, results recorded pre-order).
+///
+/// "Lazy" in the sense that the product is never materialized: the DFS stops as soon
+/// as `max_results` orders exist, and only ever walks prefixes of **valid**
+/// per-register linearizations, skipping the state-inconsistent dead ends the joint
+/// search would visit. Returns the orders (as global op indices) plus nodes visited,
+/// or the node count if `work_limit` is exceeded.
+fn enumerate_interleavings(
+    joint: &SubProblem,
+    tries: &[OrderTrie],
+    max_results: usize,
+    work_limit: u64,
+) -> Result<(Vec<Vec<u32>>, u64), u64> {
+    let registers = tries.len();
+    let mut taken = vec![0u64; joint.words];
+    let mut node_at: Vec<u32> = vec![0; registers];
+    let mut accepting = tries.iter().filter(|t| t.accepting[0]).count();
+    let mut order: Vec<u32> = Vec::new();
+    let mut results: Vec<Vec<u32>> = Vec::new();
+    let mut nodes: u64 = 0;
+    let mut stack = vec![ProductFrame {
+        reg: u32::MAX,
+        prev_node: 0,
+        op: NO_OP,
+        scan: 0,
+    }];
+    let mut entering = true;
+
+    while let Some(frame) = stack.last_mut() {
+        if entering {
+            entering = false;
+            nodes += 1;
+            if nodes > work_limit {
+                return Err(nodes);
+            }
+            if results.len() >= max_results {
+                return Ok((results, nodes));
+            }
+            if accepting == registers {
+                results.push(order.clone());
+            }
+        }
+        // The next op is the minimal global index >= frame.scan over every register's
+        // currently reachable trie children whose real-time predecessors are all
+        // taken — the same candidate the joint DFS scan would find next.
+        let mut best: Option<(u32, u32, u32)> = None;
+        for (r, trie) in tries.iter().enumerate() {
+            for &(global, child) in &trie.children[node_at[r] as usize] {
+                if global < frame.scan {
+                    continue;
+                }
+                if best.is_some_and(|(bg, _, _)| global >= bg) {
+                    break; // children ascend; nothing better in this register
+                }
+                if joint.preds_satisfied(global as usize, &taken) {
+                    best = Some((global, r as u32, child));
+                    break; // this register's minimal candidate
+                }
+            }
+        }
+        match best {
+            Some((global, reg, child)) => {
+                frame.scan = global + 1;
+                let g = global as usize;
+                taken[g / WORD_BITS] |= 1u64 << (g % WORD_BITS);
+                let prev_node = node_at[reg as usize];
+                node_at[reg as usize] = child;
+                let trie = &tries[reg as usize];
+                match (
+                    trie.accepting[prev_node as usize],
+                    trie.accepting[child as usize],
+                ) {
+                    (false, true) => accepting += 1,
+                    (true, false) => accepting -= 1,
+                    _ => {}
+                }
+                order.push(global);
+                stack.push(ProductFrame {
+                    reg,
+                    prev_node,
+                    op: global,
+                    scan: 0,
+                });
+                entering = true;
+            }
+            None => {
+                let done = stack.pop().expect("non-empty stack");
+                if done.op != NO_OP {
+                    let g = done.op as usize;
+                    taken[g / WORD_BITS] &= !(1u64 << (g % WORD_BITS));
+                    let reg = done.reg as usize;
+                    let cur = node_at[reg];
+                    node_at[reg] = done.prev_node;
+                    let trie = &tries[reg];
+                    match (
+                        trie.accepting[cur as usize],
+                        trie.accepting[done.prev_node as usize],
+                    ) {
+                        (true, false) => accepting -= 1,
+                        (false, true) => accepting += 1,
+                        _ => {}
+                    }
+                    order.pop();
+                }
+            }
+        }
+    }
+    Ok((results, nodes))
 }
 
 // ---------------------------------------------------------------------------
@@ -520,10 +731,11 @@ pub struct Engine<'a, V> {
     /// The registers appearing in the history, ascending.
     registers: Vec<RegisterId>,
     values: HashMap<&'a V, u32, FastBuildHasher>,
-    /// Per-register subproblems, built lazily: enumeration never needs them.
-    per_register: OnceCell<Vec<SubProblem>>,
+    /// Per-register subproblems, built lazily (`OnceLock` rather than `OnceCell` so
+    /// a prepared engine can be shared across pool threads).
+    per_register: OnceLock<Vec<SubProblem>>,
     /// Joint subproblem, built lazily and shared across `enumerate` calls.
-    joint: OnceCell<SubProblem>,
+    joint: OnceLock<SubProblem>,
 }
 
 impl<'a, V: RegisterValue> Engine<'a, V> {
@@ -566,8 +778,8 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
             members,
             registers,
             values,
-            per_register: OnceCell::new(),
-            joint: OnceCell::new(),
+            per_register: OnceLock::new(),
+            joint: OnceLock::new(),
         }
     }
 
@@ -616,8 +828,65 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     ///
     /// `state_limit` bounds the total number of search nodes across all sub-searches
     /// (the same budget the original joint search applied to its single search tree).
+    ///
+    /// When the current rayon pool is wider than one thread and the history spans
+    /// several registers, the sub-searches run fork-join in parallel; the outcome —
+    /// verdict, witness, and statistics — is bit-identical to
+    /// [`Engine::check_sequential`] at any thread count (see the module docs for how
+    /// the budget replay guarantees this).
     #[must_use]
     pub fn check(&self, state_limit: u64) -> CheckOutcome {
+        let per_register = self.per_register();
+        if per_register.len() <= 1 || rayon::current_num_threads() <= 1 {
+            return self.check_sequential(state_limit);
+        }
+        // Fork-join: every sub-search runs with a private budget of the full limit.
+        let results: Vec<(Option<Vec<u32>>, SearchStats)> = rayon::par_map(per_register, |sub| {
+            let mut budget = state_limit;
+            let mut stats = SearchStats::default();
+            let order = search_witness(sub, &mut budget, &mut stats);
+            (order, stats)
+        });
+        // Replay the sequential shared-budget accounting in register order. A
+        // completed sub-search explores the same nodes whether its budget was the
+        // full limit or the sequential remainder, as long as the remainder covered
+        // it — so whenever the running total stays within the limit, the replayed
+        // verdict, witness, and statistics are exactly the sequential ones. The
+        // moment the sequential pass *would* have run dry (its truncation point
+        // depends on the shared budget), rerun sequentially instead of guessing.
+        let mut consumed = 0u64;
+        let mut stats = SearchStats::default();
+        let mut sub_orders: Vec<Vec<u32>> = Vec::with_capacity(results.len());
+        for (order, sub_stats) in results {
+            if sub_stats.limit_hit || consumed + sub_stats.states_explored > state_limit {
+                return self.check_sequential(state_limit);
+            }
+            consumed += sub_stats.states_explored;
+            stats.states_explored += sub_stats.states_explored;
+            stats.states_memoized += sub_stats.states_memoized;
+            match order {
+                Some(order) => sub_orders.push(order),
+                // First failing register: the sequential pass stops here too, with
+                // exactly these statistics.
+                None => {
+                    return CheckOutcome {
+                        order: None,
+                        states_explored: stats.states_explored,
+                        states_memoized: stats.states_memoized,
+                        limit_hit: false,
+                    }
+                }
+            }
+        }
+        let mut budget = state_limit - consumed;
+        self.finish_check(&sub_orders, &mut budget, &mut stats)
+    }
+
+    /// [`Engine::check`] pinned to the calling thread: per-register sub-searches run
+    /// one after another sharing one budget. The parallel path is defined to be
+    /// bit-identical to this one; the determinism suites diff the two.
+    #[must_use]
+    pub fn check_sequential(&self, state_limit: u64) -> CheckOutcome {
         let mut budget = state_limit;
         let mut stats = SearchStats::default();
         let per_register = self.per_register();
@@ -635,10 +904,23 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                 }
             }
         }
-        // Map local orders to global op indices.
+        self.finish_check(&sub_orders, &mut budget, &mut stats)
+    }
+
+    /// Shared tail of [`Engine::check`] and [`Engine::check_sequential`] once every
+    /// register has produced a witness: maps the local witness orders to global op
+    /// indices, merges them, and falls back to the joint search on the remaining
+    /// budget if the merge ever fails.
+    fn finish_check(
+        &self,
+        sub_orders: &[Vec<u32>],
+        budget: &mut u64,
+        stats: &mut SearchStats,
+    ) -> CheckOutcome {
+        let per_register = self.per_register();
         let per_register_orders: Vec<Vec<usize>> = per_register
             .iter()
-            .zip(&sub_orders)
+            .zip(sub_orders)
             .map(|(sub, order)| {
                 order
                     .iter()
@@ -661,7 +943,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                 // budget rather than returning a wrong verdict. No debug_assert here:
                 // the safety net must also work in debug builds.
                 let joint = self.joint_subproblem();
-                search_witness(joint, &mut budget, &mut stats)
+                search_witness(joint, budget, stats)
                     .map(|order| order.iter().map(|&i| i as usize).collect())
             }
         };
@@ -673,77 +955,147 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
         }
     }
 
-    /// Topologically merges per-register witness orders with the global real-time
-    /// relation. Returns `None` if the combined relation has a cycle (impossible for
-    /// correct inputs; see [`Engine::check`]).
-    fn merge_witnesses(&self, per_register_orders: &[Vec<usize>]) -> Option<Vec<usize>> {
-        let chosen: Vec<usize> = per_register_orders.iter().flatten().copied().collect();
-        let m = chosen.len();
-        if m == 0 {
-            return Some(Vec::new());
-        }
-        // Dense ids for the chosen ops.
-        let mut dense: HashMap<usize, usize, FastBuildHasher> = HashMap::default();
-        for (d, &g) in chosen.iter().enumerate() {
-            dense.insert(g, d);
-        }
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); m];
-        let mut indegree: Vec<usize> = vec![0; m];
-        let add_edge =
-            |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>| {
-                succs[from].push(to);
-                indeg[to] += 1;
-            };
-        // Witness-order edges (consecutive ops within each register's linearization).
-        for order in per_register_orders {
-            for pair in order.windows(2) {
-                add_edge(dense[&pair[0]], dense[&pair[1]], &mut succs, &mut indegree);
-            }
-        }
-        // Real-time edges between every chosen pair.
-        for (da, &ga) in chosen.iter().enumerate() {
-            for (db, &gb) in chosen.iter().enumerate() {
-                if da != db && self.ops[ga].precedes(self.ops[gb]) {
-                    add_edge(da, db, &mut succs, &mut indegree);
-                }
-            }
-        }
-        // Kahn's algorithm; break ties by invocation time for a deterministic,
-        // natural-looking witness.
-        let mut ready: Vec<usize> = (0..m).filter(|&d| indegree[d] == 0).collect();
-        let mut merged = Vec::with_capacity(m);
-        while !ready.is_empty() {
-            let pick = ready
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &d)| self.ops[chosen[d]].invoked_at)
-                .map(|(pos, _)| pos)
-                .unwrap();
-            let d = ready.swap_remove(pick);
-            merged.push(chosen[d]);
-            for &s in &succs[d] {
-                indegree[s] -= 1;
-                if indegree[s] == 0 {
-                    ready.push(s);
-                }
-            }
-        }
-        (merged.len() == m).then_some(merged)
+    /// Checks a batch of histories, fanning them across the current rayon pool (one
+    /// engine build + check per history). Results are in input order, and every entry
+    /// is bit-identical to `Engine::new(history, init).check(state_limit)` — batching
+    /// changes wall-clock time, never outcomes.
+    ///
+    /// This is the shape the differential suites, property tests, and adversary
+    /// sweeps run: many independent small histories, where per-history parallelism
+    /// cannot amortize the engine build but cross-history parallelism can.
+    #[must_use]
+    pub fn check_many(items: &[(&History<V>, &V)], state_limit: u64) -> Vec<CheckOutcome>
+    where
+        V: Sync,
+    {
+        rayon::par_map(items, |(history, init)| {
+            Engine::new(history, init).check(state_limit)
+        })
     }
 
-    /// Enumerates every linearization order of the history (jointly over all
-    /// registers), up to `max_results`, visiting at most `work_limit` search nodes.
+    /// Merges per-register witness orders into one global order respecting both every
+    /// witness order and the global real-time relation. Returns `None` if no such
+    /// order exists (impossible for correct inputs; see [`Engine::check`]).
     ///
-    /// Orders index into [`Engine::ops`]. The node set visited — and therefore the set
-    /// of orders produced — matches the original recursive enumerator.
+    /// This is a k-way pointer merge: a register's head op is *ready* when no
+    /// unemitted op responded before it was invoked (checked in O(k) via suffix
+    /// minima of response times), and among ready heads the earliest invocation wins,
+    /// ties to the lowest register. Readiness of the head with the minimal unemitted
+    /// response time is guaranteed, so the merge always progresses on well-formed
+    /// witness orders — and it replaces the previous all-pairs `precedes` scan plus
+    /// Kahn topological sort, which dominated multi-register check time.
+    fn merge_witnesses(&self, per_register_orders: &[Vec<usize>]) -> Option<Vec<usize>> {
+        let k = per_register_orders.len();
+        let total: usize = per_register_orders.iter().map(Vec::len).sum();
+        // suffix_min_resp[r][p] = earliest response among orders[r][p..], pending ops
+        // counting as never-responding.
+        let suffix_min_resp: Vec<Vec<u64>> = per_register_orders
+            .iter()
+            .map(|order| {
+                let mut mins = vec![u64::MAX; order.len() + 1];
+                for p in (0..order.len()).rev() {
+                    let resp = self.ops[order[p]].responded_at.map_or(u64::MAX, |t| t.0);
+                    mins[p] = mins[p + 1].min(resp);
+                }
+                mins
+            })
+            .collect();
+        let mut pos = vec![0usize; k];
+        let mut merged = Vec::with_capacity(total);
+        for _ in 0..total {
+            let mut best: Option<(Time, usize)> = None;
+            'regs: for (r, order) in per_register_orders.iter().enumerate() {
+                let Some(&head) = order.get(pos[r]) else {
+                    continue;
+                };
+                let inv = self.ops[head].invoked_at;
+                for (r2, mins) in suffix_min_resp.iter().enumerate() {
+                    // Skip the head itself when scanning its own register's suffix.
+                    if mins[pos[r2] + usize::from(r2 == r)] < inv.0 {
+                        continue 'regs;
+                    }
+                }
+                if best.is_none_or(|(b, _)| inv < b) {
+                    best = Some((inv, r));
+                }
+            }
+            let (_, r) = best?;
+            merged.push(per_register_orders[r][pos[r]]);
+            pos[r] += 1;
+        }
+        Some(merged)
+    }
+
+    /// Enumerates every linearization order of the history, up to `max_results`,
+    /// visiting at most `work_limit` search nodes.
+    ///
+    /// Orders index into [`Engine::ops`]. The sequence of orders produced — values
+    /// and emission order both — matches the original recursive joint enumerator
+    /// exactly. Single-register histories run the joint DFS directly; multi-register
+    /// histories enumerate each register separately and walk the lazy interleaving
+    /// product (see [`enumerate_interleavings`]), which prunes the joint search's
+    /// state-inconsistent dead ends. The work cap counts per-register search nodes
+    /// plus product nodes, so adversarial inputs still fail loudly.
     pub fn enumerate(
         &self,
         max_results: usize,
         work_limit: u64,
     ) -> Result<Vec<Vec<usize>>, EnumerationLimitExceeded> {
+        if self.registers.len() <= 1 {
+            return self.enumerate_joint(max_results, work_limit, 0);
+        }
+        // Per-register enumeration first: each register's full set of linearizations,
+        // folded into a prefix trie. The shared work budget drains as we go. This
+        // discovery stage cannot honor `max_results` (the product needs every
+        // per-register order to know which interleavings exist), so a register whose
+        // own linearization space exceeds the budget falls back to the joint DFS —
+        // which *is* lazily bounded by `max_results` and therefore still succeeds on
+        // highly concurrent registers with small result caps, exactly as the
+        // pre-product enumerator did. Total work stays within 2x the cap.
+        let per_register = self.per_register();
+        let mut nodes_total = 0u64;
+        let mut tries = Vec::with_capacity(per_register.len());
+        for sub in per_register {
+            match enumerate_orders(sub, usize::MAX, work_limit.saturating_sub(nodes_total)) {
+                Ok((orders, nodes)) => {
+                    nodes_total += nodes;
+                    tries.push(OrderTrie::build(sub, &orders));
+                }
+                Err(nodes) => {
+                    return self.enumerate_joint(max_results, work_limit, nodes_total + nodes)
+                }
+            }
+        }
+        let joint = self.joint_subproblem();
+        match enumerate_interleavings(
+            joint,
+            &tries,
+            max_results,
+            work_limit.saturating_sub(nodes_total),
+        ) {
+            Ok((orders, _)) => Ok(orders
+                .into_iter()
+                .map(|order| order.into_iter().map(|g| g as usize).collect())
+                .collect()),
+            Err(nodes) => Err(EnumerationLimitExceeded {
+                nodes_visited: nodes_total + nodes,
+            }),
+        }
+    }
+
+    /// The joint enumeration DFS (the definitional emission order): the direct path
+    /// for single-register histories and the fallback when per-register discovery
+    /// exceeds the work budget. `prior_nodes` counts search nodes already spent, so a
+    /// work-cap error reports the true total.
+    fn enumerate_joint(
+        &self,
+        max_results: usize,
+        work_limit: u64,
+        prior_nodes: u64,
+    ) -> Result<Vec<Vec<usize>>, EnumerationLimitExceeded> {
         let joint = self.joint_subproblem();
         match enumerate_orders(joint, max_results, work_limit) {
-            Ok(orders) => Ok(orders
+            Ok((orders, _)) => Ok(orders
                 .into_iter()
                 .map(|order| {
                     order
@@ -752,7 +1104,9 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                         .collect()
                 })
                 .collect()),
-            Err(nodes_visited) => Err(EnumerationLimitExceeded { nodes_visited }),
+            Err(nodes_visited) => Err(EnumerationLimitExceeded {
+                nodes_visited: prior_nodes + nodes_visited,
+            }),
         }
     }
 }
@@ -855,6 +1209,138 @@ mod tests {
         let err = engine.enumerate(usize::MAX, 50).unwrap_err();
         assert!(err.nodes_visited > 50);
         assert!(err.to_string().contains("work cap"));
+    }
+
+    #[test]
+    fn parallel_check_is_bit_identical_to_sequential() {
+        // A multi-register history with real concurrency; run the parallel path on
+        // pools of width 2 and 4 and diff the entire outcome against the sequential
+        // path — orders, statistics, flags, everything.
+        let mut b = HistoryBuilder::new();
+        for i in 0..3u64 {
+            let w = b.invoke_write(ProcessId(i as usize), R0, i as i64 + 1);
+            let _ = w;
+            b.write(ProcessId(i as usize), R1, i as i64 + 10);
+        }
+        b.read(ProcessId(7), R0, 2i64);
+        b.read(ProcessId(8), R1, 12i64);
+        let h = b.build();
+        let engine = Engine::new(&h, &0);
+        for limit in [1u64, 3, 10, 1_000_000] {
+            let sequential = engine.check_sequential(limit);
+            for threads in [2usize, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let parallel = pool.install(|| engine.check(limit));
+                assert_eq!(parallel, sequential, "threads={threads} limit={limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_many_matches_individual_checks() {
+        let histories: Vec<_> = (0..6)
+            .map(|seed| {
+                let mut b = HistoryBuilder::new();
+                b.write(ProcessId(0), R0, seed);
+                b.write(ProcessId(0), R1, seed + 1);
+                b.read(ProcessId(1), R0, if seed % 2 == 0 { seed } else { 99 });
+                b.build()
+            })
+            .collect();
+        let init = 0i64;
+        let items: Vec<_> = histories.iter().map(|h| (h, &init)).collect();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let batch = pool.install(|| Engine::check_many(&items, 1_000_000));
+            for (i, h) in histories.iter().enumerate() {
+                let solo = Engine::new(h, &init).check_sequential(1_000_000);
+                assert_eq!(batch[i], solo, "threads={threads} history={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_register_enumeration_interleaves_lazily() {
+        // Two registers, each with two concurrent completed writes: 2 orders per
+        // register, interleaved 4-over-2 ways each => 2 * 2 * C(4,2) = 24 orders.
+        let mut b = HistoryBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..2 {
+            ids.push(b.invoke_write(ProcessId(i), R0, i as i64 + 1));
+        }
+        for i in 0..2 {
+            ids.push(b.invoke_write(ProcessId(2 + i), R1, i as i64 + 10));
+        }
+        for id in ids {
+            b.respond_write(id);
+        }
+        let h = b.build();
+        let engine = Engine::new(&h, &0);
+        let all = engine.enumerate(usize::MAX, 1_000_000).unwrap();
+        assert_eq!(all.len(), 24);
+        // max_results cuts the product off early — lazily, without generating all 24.
+        let three = engine.enumerate(3, 1_000_000).unwrap();
+        assert_eq!(three, all[..3].to_vec());
+    }
+
+    #[test]
+    fn multi_register_enumeration_work_cap_fails_loudly() {
+        let mut b = HistoryBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(b.invoke_write(ProcessId(i), R0, i as i64 + 1));
+        }
+        for i in 0..4 {
+            ids.push(b.invoke_write(ProcessId(4 + i), R1, i as i64 + 10));
+        }
+        for id in ids {
+            b.respond_write(id);
+        }
+        let h = b.build();
+        let engine = Engine::new(&h, &0);
+        let err = engine.enumerate(usize::MAX, 40).unwrap_err();
+        assert!(err.nodes_visited > 40);
+        assert!(engine.enumerate(usize::MAX, 10_000_000).is_ok());
+    }
+
+    #[test]
+    fn small_max_results_on_a_huge_register_falls_back_to_the_joint_search() {
+        // Two registers, eight mutually concurrent completed writes each: each
+        // register alone has 8! = 40,320 linearizations, far past a 10,000-node
+        // budget, so the product's per-register discovery stage cannot finish.
+        // With a small max_results the joint DFS finds the first order in a handful
+        // of nodes — the fallback must preserve that (this was an Ok -> Err
+        // regression caught in review).
+        let mut b = HistoryBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            ids.push(b.invoke_write(ProcessId(i), R0, i as i64 + 1));
+        }
+        for i in 0..8 {
+            ids.push(b.invoke_write(ProcessId(8 + i), R1, i as i64 + 10));
+        }
+        for id in ids {
+            b.respond_write(id);
+        }
+        let h = b.build();
+        let engine = Engine::new(&h, &0);
+        let first = engine
+            .enumerate(1, 10_000)
+            .expect("joint fallback succeeds");
+        assert_eq!(first.len(), 1);
+        // The fallback emits the definitional (joint DFS) first order: ops in
+        // ascending global index, since all sixteen writes are mutually concurrent.
+        assert_eq!(first[0], (0..16).collect::<Vec<usize>>());
+        // An over-budget request without a small cap still fails loudly, counting
+        // both the discovery attempt and the joint rerun.
+        let err = engine.enumerate(usize::MAX, 10_000).unwrap_err();
+        assert!(err.nodes_visited > 10_000);
     }
 
     #[test]

@@ -56,9 +56,9 @@ pub use engine::{CheckOutcome, Engine, EnumerationLimitExceeded};
 pub use history::{History, HistoryBuilder};
 pub use ids::{OpId, ProcessId, RegisterId, Time};
 pub use linearizability::{
-    check_linearizable, check_linearizable_report, enumerate_linearizations,
-    try_enumerate_linearizations, LinearizabilityReport, DEFAULT_ENUMERATION_WORK_LIMIT,
-    DEFAULT_STATE_LIMIT,
+    check_linearizable, check_linearizable_batch, check_linearizable_report,
+    enumerate_linearizations, try_enumerate_linearizations, LinearizabilityReport,
+    DEFAULT_ENUMERATION_WORK_LIMIT, DEFAULT_STATE_LIMIT,
 };
 pub use op::{OpKind, Operation};
 pub use sequential::{is_legal_register_sequence, SeqHistory};

@@ -120,6 +120,25 @@ pub fn check_linearizable_report<V: RegisterValue>(
     }
 }
 
+/// Checks a whole slice of histories against the same initial value, fanning the
+/// checks across the current rayon pool (see [`Engine::check_many`]).
+///
+/// Reports come back in input order, and each one is bit-identical to what
+/// [`check_linearizable_report`] returns for that history — at any thread count,
+/// including 1 (where this degrades to a plain loop). This is the entry point the
+/// differential suites and adversary sweeps use to turn "thousands of seeded
+/// histories" from a latency problem into a throughput problem.
+#[must_use]
+pub fn check_linearizable_batch<V: RegisterValue + Send + Sync>(
+    histories: &[History<V>],
+    init: &V,
+    state_limit: u64,
+) -> Vec<LinearizabilityReport<V>> {
+    rayon::par_map(histories, |history| {
+        check_linearizable_report(history, init, state_limit)
+    })
+}
+
 /// Enumerates **all** linearizations of `history` (up to the given limit on how many to
 /// return). Used by the existential write-strong-linearizability checks of
 /// [`crate::strong`], which must quantify over every possible linearization of a prefix.

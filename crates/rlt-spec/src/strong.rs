@@ -62,7 +62,7 @@ impl<V> fmt::Display for FamilyReport<V> {
     }
 }
 
-impl<V: RegisterValue> ExtensionFamily<V> {
+impl<V: RegisterValue + Send + Sync> ExtensionFamily<V> {
     /// Creates a family after validating that every extension indeed has `base` as a
     /// prefix.
     ///
@@ -142,13 +142,21 @@ impl<V: RegisterValue> ExtensionFamily<V> {
         work_limit: u64,
         mode: Mode,
     ) -> Result<FamilyReport<V>, EnumerationLimitExceeded> {
+        // The base gates everything (and is the usual work-cap offender), so it is
+        // enumerated first, alone — a family whose base blows the cap fails after one
+        // budget's worth of work, as before. The extensions are then enumerated in
+        // parallel across the current rayon pool: they are independent, and families
+        // with several extensions are exactly the shape the Theorem 13 / Corollary 11
+        // sweeps check in bulk. Results come back in extension order, so the report
+        // (and which member's work-cap error surfaces first) matches the sequential
+        // pass.
         let base_lins =
             try_enumerate_linearizations(&self.base, &self.init, max_linearizations, work_limit)?;
-        let ext_lins: Vec<Vec<SeqHistory<V>>> = self
-            .extensions
-            .iter()
-            .map(|h| try_enumerate_linearizations(h, &self.init, max_linearizations, work_limit))
-            .collect::<Result<_, _>>()?;
+        let ext_lins: Vec<Vec<SeqHistory<V>>> = rayon::par_map(&self.extensions, |history| {
+            try_enumerate_linearizations(history, &self.init, max_linearizations, work_limit)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         let mut per_base = Vec::new();
         let mut admits = false;
         for base_lin in &base_lins {
@@ -185,7 +193,7 @@ enum Mode {
 /// Convenience wrapper around [`ExtensionFamily::check_write_strong`]: returns `true`
 /// iff the family admits a write strong-linearization.
 #[must_use]
-pub fn admits_write_strong_linearization<V: RegisterValue>(
+pub fn admits_write_strong_linearization<V: RegisterValue + Send + Sync>(
     base: History<V>,
     extensions: Vec<History<V>>,
     init: V,

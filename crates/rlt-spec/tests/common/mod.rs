@@ -1,0 +1,49 @@
+//! Shared corpus generator for the differential and parallel-determinism suites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlt_spec::{History, HistoryBuilder, OpId, ProcessId, RegisterId};
+
+/// Builds a random well-formed history with up to `max_ops` operations over
+/// `registers` registers. Roughly a third of invocations never respond, and the value
+/// domain is small so read values frequently collide with — and frequently
+/// contradict — written values, exercising both verdicts.
+pub fn random_history(seed: u64, max_ops: usize, registers: usize) -> History<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b: HistoryBuilder<i64> = HistoryBuilder::new();
+    // (id, is_read) of operations that have been invoked but not responded.
+    let mut open: Vec<(OpId, bool)> = Vec::new();
+    let n_ops = rng.gen_range(1..=max_ops);
+    for _ in 0..n_ops {
+        let p = ProcessId(rng.gen_range(0..4));
+        let r = RegisterId(rng.gen_range(0..registers));
+        if rng.gen_bool(0.5) {
+            let v = rng.gen_range(0..4) as i64;
+            open.push((b.invoke_write(p, r, v), false));
+        } else {
+            open.push((b.invoke_read(p, r), true));
+        }
+        // Respond to a random open operation with probability 2/3.
+        while !open.is_empty() && rng.gen_bool(0.4) {
+            let idx = rng.gen_range(0..open.len());
+            let (id, is_read) = open.swap_remove(idx);
+            if is_read {
+                b.respond_read(id, rng.gen_range(0..4) as i64);
+            } else {
+                b.respond_write(id);
+            }
+        }
+    }
+    // Respond to each remaining open op with probability 1/2; the rest stay pending.
+    let remaining = std::mem::take(&mut open);
+    for (id, is_read) in remaining {
+        if rng.gen_bool(0.5) {
+            if is_read {
+                b.respond_read(id, rng.gen_range(0..4) as i64);
+            } else {
+                b.respond_write(id);
+            }
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,165 @@
+//! Parallel-determinism suite: the fork-join engine pinned to the sequential path.
+//!
+//! The engine's contract is that thread count is *unobservable* in results: verdicts,
+//! witnesses, statistics, enumeration output, and family reports must be bit-identical
+//! across pools of width 1, 2, and N. These tests diff the parallel paths against
+//! [`Engine::check_sequential`] / the single-threaded pool on the same seeded corpus
+//! the engine-vs-reference differential suite uses, plus dedicated corpora for the
+//! small-budget replay path and the multi-register enumeration product.
+
+mod common;
+
+use common::random_history;
+use rlt_spec::linearizability::{check_linearizable_batch, check_linearizable_report};
+use rlt_spec::reference::reference_enumerate_linearizations;
+use rlt_spec::{Engine, ExtensionFamily, HistoryBuilder, OpId, ProcessId, RegisterId};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool")
+}
+
+#[test]
+fn check_reports_are_bit_identical_across_thread_counts() {
+    // The full 3,000-history differential corpus: every report field must match the
+    // sequential engine exactly, on pools of width 2 and 4.
+    let histories: Vec<_> = (1..=3usize)
+        .flat_map(|registers| {
+            (0..1_000u64)
+                .map(move |seed| random_history(seed * 3 + registers as u64, 10, registers))
+        })
+        .collect();
+    let sequential: Vec<_> = histories
+        .iter()
+        .map(|h| check_linearizable_report(h, &0, u64::MAX))
+        .collect();
+    for threads in [2usize, 4] {
+        let pool = pool(threads);
+        for (i, h) in histories.iter().enumerate() {
+            let parallel = pool.install(|| check_linearizable_report(h, &0, u64::MAX));
+            assert_eq!(
+                parallel, sequential[i],
+                "report diverged at history {i} with {threads} threads: {h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_state_budgets_replay_identically() {
+    // The budget-replay / sequential-fallback path: with budgets this small the
+    // parallel pass frequently detects that the sequential pass would have run dry
+    // mid-search and must reproduce its exact truncated statistics.
+    for threads in [2usize, 4] {
+        let pool = pool(threads);
+        for seed in 0..300u64 {
+            let h = random_history(seed + 5_000, 12, 3);
+            for limit in [0u64, 1, 2, 5, 17, 64] {
+                let engine = Engine::new(&h, &0);
+                let sequential = engine.check_sequential(limit);
+                let parallel = pool.install(|| engine.check(limit));
+                assert_eq!(
+                    parallel, sequential,
+                    "seed {seed} limit {limit} threads {threads}: {h}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_reports_match_individual_reports_at_any_width() {
+    let histories: Vec<_> = (0..200u64)
+        .map(|seed| random_history(seed * 11 + 1, 10, 3))
+        .collect();
+    let solo: Vec<_> = histories
+        .iter()
+        .map(|h| check_linearizable_report(h, &0, u64::MAX))
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let pool = pool(threads);
+        let batch = pool.install(|| check_linearizable_batch(&histories, &0, u64::MAX));
+        assert_eq!(batch, solo, "batch diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn multi_register_enumeration_matches_reference_exactly() {
+    // The lazy interleaving product against the pre-engine reference enumerator on
+    // three-register histories (the in-crate differential suite covers 1–2 registers):
+    // same orders, same emission sequence.
+    for seed in 0..300u64 {
+        let h = random_history(seed * 13 + 3, 8, 3);
+        let engine = Engine::new(&h, &0);
+        let product: Vec<Vec<OpId>> = engine
+            .enumerate(10_000, u64::MAX)
+            .expect("within work cap")
+            .iter()
+            .map(|order| order.iter().map(|&i| engine.ops()[i].id).collect())
+            .collect();
+        let reference: Vec<Vec<OpId>> = reference_enumerate_linearizations(&h, &0, 10_000)
+            .iter()
+            .map(|s| s.op_ids())
+            .collect();
+        assert_eq!(
+            product, reference,
+            "enumeration diverged on seed {seed}: {h}"
+        );
+    }
+}
+
+#[test]
+fn enumeration_output_is_independent_of_thread_count() {
+    // Enumeration itself is sequential by design, but it is reached through
+    // pool-installed call sites (the strong.rs family checks); pin the output anyway.
+    let seq_pool = pool(1);
+    let par_pool = pool(4);
+    for seed in 0..100u64 {
+        let h = random_history(seed * 17 + 7, 9, 2);
+        let engine = Engine::new(&h, &0);
+        let sequential = seq_pool.install(|| engine.enumerate(10_000, u64::MAX));
+        let parallel = par_pool.install(|| engine.enumerate(10_000, u64::MAX));
+        assert_eq!(sequential.unwrap(), parallel.unwrap(), "seed {seed}");
+    }
+}
+
+#[test]
+fn extension_family_reports_are_identical_across_thread_counts() {
+    // The Theorem 13 miniature family (two conflicting extensions) through the
+    // parallel member enumeration: the report — including which extension blocks each
+    // base linearization — must not depend on pool width.
+    const R: RegisterId = RegisterId(0);
+    let mut b = HistoryBuilder::new();
+    let w1 = b.invoke_write(ProcessId(1), R, 1i64);
+    let w2 = b.invoke_write(ProcessId(2), R, 2i64);
+    b.respond_write(w2);
+    let base = b.snapshot();
+    let mut ba = b.clone();
+    ba.respond_write(w1);
+    ba.read(ProcessId(3), R, 2i64);
+    let ext_a = ba.build();
+    let mut bb = b.clone();
+    bb.respond_write(w1);
+    bb.read(ProcessId(3), R, 1i64);
+    let ext_b = bb.build();
+    let family = ExtensionFamily::new(base, vec![ext_a, ext_b], 0i64);
+
+    let baseline_ws = pool(1).install(|| family.check_write_strong(1_000));
+    let baseline_strong = pool(1).install(|| family.check_strong(1_000));
+    assert!(!baseline_ws.admits);
+    for threads in [2usize, 4] {
+        let pool = pool(threads);
+        assert_eq!(
+            pool.install(|| family.check_write_strong(1_000)),
+            baseline_ws,
+            "write-strong report diverged at {threads} threads"
+        );
+        assert_eq!(
+            pool.install(|| family.check_strong(1_000)),
+            baseline_strong,
+            "strong report diverged at {threads} threads"
+        );
+    }
+}

@@ -7,7 +7,7 @@ use rlt_core::spec::strategy::check_write_strong_prefix_property;
 use rlt_core::spec::swmr::{
     canonical_swmr_strategy, effective_swmr_writes, is_swmr_history, swmr_star,
 };
-use rlt_core::spec::{check_linearizable, ProcessId};
+use rlt_core::spec::{check_linearizable, check_linearizable_batch, ProcessId};
 
 fn adversarial_run(n: usize, writer: ProcessId, seed: u64, crash: Option<ProcessId>) -> AbdCluster {
     let mut cluster = AbdCluster::new(n, writer);
@@ -93,6 +93,46 @@ fn f_star_write_sequence_matches_effective_writes() {
         assert_eq!(got, exp_sorted, "seed {seed}");
         // And the order (by invocation) must agree as well.
         assert_eq!(starred.write_ids(), expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn larger_abd_clusters_stay_linearizable_under_batch_checking() {
+    // Bigger clusters (n = 9, up to two crashed replicas) over many more adversarial
+    // schedules than the original n = 5 suite, with all the histories checked in one
+    // batch call — the workload shape the batch API exists for.
+    let mut histories = Vec::new();
+    for &(n, crash) in &[(7usize, None), (9, None), (9, Some(ProcessId(8)))] {
+        for seed in 0..12u64 {
+            let cluster = adversarial_run(n, ProcessId(0), seed * 31 + n as u64, crash);
+            let h = cluster.history();
+            assert!(is_swmr_history(&h), "n={n} seed={seed}");
+            histories.push(h);
+        }
+    }
+    let reports = check_linearizable_batch(&histories, &0, u64::MAX);
+    assert_eq!(reports.len(), histories.len());
+    for (i, report) in reports.iter().enumerate() {
+        assert!(!report.limit_hit, "history {i}");
+        let witness = report
+            .witness
+            .as_ref()
+            .unwrap_or_else(|| panic!("ABD produced a non-linearizable history at index {i}"));
+        assert!(
+            witness.is_linearization_of(&histories[i], &0),
+            "witness fails Definition 2 on history {i}"
+        );
+    }
+}
+
+#[test]
+fn theorem14_scales_to_nine_replica_clusters() {
+    for seed in 0..6u64 {
+        let cluster = adversarial_run(9, ProcessId(4), seed, None);
+        let h = cluster.history();
+        let strategy = canonical_swmr_strategy(0i64);
+        check_write_strong_prefix_property(&strategy, &h, &0)
+            .unwrap_or_else(|v| panic!("Theorem 14 violated on 9-replica seed {seed}: {v}"));
     }
 }
 

@@ -45,6 +45,43 @@ fn wsl_game_histories_are_linearizable_and_terminate() {
 }
 
 #[test]
+fn theorem6_adversary_survives_long_schedules_across_many_seeds() {
+    // The Theorem 6 adversary must keep the linearizable game alive indefinitely —
+    // not just for the short schedules the original suite used. 400 rounds is 5x the
+    // old horizon; the dichotomy must hold for every seed and for larger player sets.
+    for &n in &[4usize, 6] {
+        let cfg = GameConfig::new(n).with_max_rounds(400);
+        for seed in 0..4u64 {
+            let lin = run_game(RegisterMode::Linearizable, &cfg, seed);
+            assert!(
+                !lin.all_returned,
+                "n={n} seed={seed}: adversary lost after {} rounds",
+                lin.rounds_executed
+            );
+            assert_eq!(lin.rounds_executed, 400, "n={n} seed={seed}");
+            let wsl = run_game(RegisterMode::WriteStrongLinearizable, &cfg, seed);
+            assert!(wsl.all_returned, "n={n} seed={seed}: Theorem 7 violated");
+        }
+    }
+}
+
+#[test]
+fn theorem6_long_checked_schedule_stays_linearizable() {
+    // A longer adversary schedule with the full linearizability check on the recorded
+    // multi-register history — affordable now that the engine checks per register in
+    // parallel. The old suite capped checked runs at 2 rounds.
+    let cfg = GameConfig::new(4)
+        .with_max_rounds(12)
+        .with_linearizability_check();
+    for seed in 0..4u64 {
+        let outcome = run_game(RegisterMode::Linearizable, &cfg, seed);
+        assert_eq!(outcome.history_linearizable, Some(true), "seed {seed}");
+        assert!(!outcome.all_returned, "seed {seed}");
+        assert!(outcome.operations_recorded > 0, "seed {seed}");
+    }
+}
+
+#[test]
 fn corollary8_mode_comparison_shape() {
     let cfg = GameConfig::new(4).with_max_rounds(200);
     let table = compare_modes(&cfg, 150, 42);

@@ -2,12 +2,16 @@
 //!
 //! Wraps `std::sync` primitives behind the `parking_lot` API the repo uses: `lock`,
 //! `read`, and `write` return guards directly (no `Result`), recovering the data from a
-//! poisoned lock the way `parking_lot` never poisons in the first place.
+//! poisoned lock the way `parking_lot` never poisons in the first place. The guard
+//! returned by [`Mutex::lock`] is a thin wrapper (rather than the raw `std` guard) so
+//! that [`Condvar::wait`] can take it by `&mut` exactly like `parking_lot`'s does —
+//! that is the signature `vendor/rayon`'s pool blocks on.
 
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock` returns the guard directly.
 #[derive(Default)]
@@ -28,13 +32,79 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 }
 
 impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("Mutex").field(&*self.lock()).finish()
+    }
+}
+
+/// Guard for [`Mutex`]; releases the lock on drop.
+///
+/// The `Option` exists only so [`Condvar::wait`] can temporarily move the underlying
+/// `std` guard out through a `&mut` borrow; it is `Some` at every other moment.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A condition variable pairing with [`Mutex`], mirroring `parking_lot::Condvar`'s
+/// `wait(&mut guard)` shape (no poisoning, no spurious `Result`s).
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified; the lock is
+    /// reacquired before returning. Spurious wakeups are possible, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present outside wait");
+        guard.inner = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -103,5 +173,25 @@ mod tests {
         *l.write() = 7;
         assert_eq!(*l.read(), 7);
         assert_eq!(l.into_inner(), 7);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        assert!(waiter.join().unwrap());
     }
 }

@@ -1,0 +1,807 @@
+//! Offline stand-in for `rayon`: a fork-join / work-distributing thread pool.
+//!
+//! The build environment has no crates.io access, so — like the other crates under
+//! `vendor/` — this implements exactly the API surface the workspace uses, over
+//! `std::thread` + the vendored `parking_lot`. Swapping in the real `rayon` is a
+//! `[workspace.dependencies]` change plus replacing [`par_map`] calls with
+//! `par_iter().map().collect()`.
+//!
+//! Stood-in surface (matching `rayon`'s signatures unless noted):
+//!
+//! * [`join`] — run two closures, potentially in parallel, returning both results.
+//! * [`scope`] and [`Scope::spawn`] — structured spawning of borrowed closures; the
+//!   scope blocks until every spawn has finished.
+//! * [`par_map`] — **shim-only helper**: parallel map over a slice with results in
+//!   input order. It stands in for `slice.par_iter().map(f).collect::<Vec<_>>()`, the
+//!   one parallel-iterator shape the workspace uses, so the full `ParallelIterator`
+//!   machinery does not need to be vendored.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — explicitly sized pools; while
+//!   `install` runs, [`join`]/[`scope`]/[`par_map`] on that thread use the installed
+//!   pool. (The shim runs the installed closure on the calling thread rather than on a
+//!   pool worker; the calling thread participates in the pool's work for the duration.)
+//! * [`current_num_threads`] — logical width of the current pool.
+//!
+//! The global pool is sized from the environment on first use: `RLT_THREADS` (this
+//! repo's knob, also read by CI) takes precedence, then rayon's own
+//! `RAYON_NUM_THREADS`, then [`std::thread::available_parallelism`]. A width of 1
+//! means strictly sequential execution on the calling thread — no worker threads are
+//! spawned at all, which is what makes `RLT_THREADS=1` a faithful "parallelism off"
+//! switch for the determinism suites.
+//!
+//! # Scheduling model
+//!
+//! A pool of width `n` owns `n - 1` worker threads plus the calling thread. Jobs go
+//! through one shared injector deque. [`join`] pushes the second closure, runs the
+//! first inline, then *steals back* the second (executing it inline) if no worker got
+//! to it first; otherwise the caller executes other queued jobs while it waits
+//! ("helping"), so threads never idle while work is queued. This is coarser than
+//! rayon's per-worker deques — there is one contended queue instead of real work
+//! stealing — but the fork-join semantics, panic propagation, and determinism
+//! obligations are the same, and the sub-searches this repo fans out are
+//! coarse-grained enough that queue contention is not the bottleneck.
+//!
+//! Panics inside jobs are caught, carried across threads, and re-raised on the forking
+//! caller (first panic wins for `join`), matching rayon's behavior.
+
+#![warn(missing_docs)]
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Job plumbing
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a job: either a [`StackJob`] living in a blocked caller's
+/// stack frame (fork-join) or a leaked [`HeapJob`] (scope spawns).
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+impl JobRef {
+    /// Identity comparison for the steal-back path. The data pointer alone suffices:
+    /// it addresses a live job object, and live objects have distinct addresses.
+    /// (Function pointers are deliberately not compared — their addresses are not
+    /// stable across codegen units.)
+    fn same_job(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+// SAFETY: a `JobRef` is only ever created for jobs whose closures are `Send`, and the
+// protocols below guarantee the pointee outlives every thread that can hold the ref
+// (stack jobs are awaited before their frame unwinds; heap jobs are owned boxes).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Safety: the pointee must still be alive and not yet executed.
+    unsafe fn execute(self) {
+        (self.execute)(self.data)
+    }
+}
+
+/// A latch signalled exactly once when the associated job completes.
+struct Latch {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            done: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn set(&self) {
+        // Notify while still holding the lock: the latch lives in the join caller's
+        // stack frame, and the caller frees it as soon as it observes `done`. Holding
+        // the guard across the notify means the caller cannot acquire the lock (in
+        // `probe` or on wakeup) — and therefore cannot free the latch — until this
+        // thread's final touch is the unlock itself, which `std::sync` primitives
+        // guarantee is safe against concurrent destruction.
+        let mut done = self.done.lock();
+        *done = true;
+        self.cond.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        *self.done.lock()
+    }
+
+    /// Blocks until the latch is set, executing other queued jobs while waiting so the
+    /// pool cannot deadlock on nested fork-joins.
+    fn wait_while_helping(&self, pool: &PoolState) {
+        loop {
+            while !self.probe() {
+                match pool.try_pop() {
+                    // SAFETY: popped from the queue, hence alive and unexecuted.
+                    Some(job) => unsafe { job.execute() },
+                    None => break,
+                }
+            }
+            let mut done = self.done.lock();
+            if *done {
+                return;
+            }
+            // Any job pushed from here on is picked up by a worker (width > 1 pools
+            // always have at least one), so blocking on the latch alone is safe.
+            self.cond.wait(&mut done);
+            if *done {
+                return;
+            }
+        }
+    }
+}
+
+/// A fork-join job allocated in the forking caller's stack frame. The caller never
+/// returns before the latch fires, which is what keeps the raw pointers valid.
+struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        StackJob {
+            func: Mutex::new(Some(func)),
+            result: Mutex::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// Safety: the returned ref must be executed (or provably never executed) before
+    /// `self` is dropped.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = &*(ptr as *const Self);
+        let func = job.func.lock().take().expect("stack job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *job.result.lock() = Some(result);
+        job.latch.set();
+    }
+
+    fn take_result(&self) -> std::thread::Result<R> {
+        self.result
+            .lock()
+            .take()
+            .expect("stack job result taken before completion")
+    }
+}
+
+/// A scope-spawned job: a boxed closure plus the scope registry that counts it.
+struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+    registry: Arc<ScopeRegistry>,
+}
+
+impl HeapJob {
+    fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef {
+            data: Box::into_raw(self) as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = Box::from_raw(ptr as *mut Self);
+        let registry = Arc::clone(&job.registry);
+        let result = catch_unwind(AssertUnwindSafe(job.func));
+        registry.complete_one(result.err());
+    }
+}
+
+/// Counts outstanding spawns of one [`scope`] and stores the first panic.
+struct ScopeRegistry {
+    state: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    cond: Condvar,
+}
+
+impl ScopeRegistry {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeRegistry {
+            state: Mutex::new((0, None)),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn add_one(&self) {
+        self.state.lock().0 += 1;
+    }
+
+    fn complete_one(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock();
+        state.0 -= 1;
+        if let Some(p) = panic {
+            state.1.get_or_insert(p);
+        }
+        if state.0 == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait_idle(&self, pool: &PoolState) -> Option<Box<dyn std::any::Any + Send>> {
+        loop {
+            while self.state.lock().0 > 0 {
+                match pool.try_pop() {
+                    // SAFETY: popped from the queue, hence alive and unexecuted.
+                    Some(job) => unsafe { job.execute() },
+                    None => break,
+                }
+            }
+            let mut state = self.state.lock();
+            if state.0 == 0 {
+                return state.1.take();
+            }
+            self.cond.wait(&mut state);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool state, workers, and the current-pool register
+// ---------------------------------------------------------------------------
+
+/// Queue + shutdown flag behind one mutex so the shutdown signal and the
+/// work-available condvar cannot race (a flag behind a second lock could flip between
+/// a worker's check and its wait, losing the wakeup).
+struct PoolShared {
+    queue: VecDeque<JobRef>,
+    shutdown: bool,
+}
+
+struct PoolState {
+    shared: Mutex<PoolShared>,
+    work_available: Condvar,
+    /// Logical width: worker threads + the installing/calling thread.
+    threads: usize,
+}
+
+impl PoolState {
+    fn new(threads: usize) -> Arc<Self> {
+        Arc::new(PoolState {
+            shared: Mutex::new(PoolShared {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            threads,
+        })
+    }
+
+    /// `true` when the pool runs everything inline on the calling thread.
+    fn sequential(&self) -> bool {
+        self.threads <= 1
+    }
+
+    fn push(&self, job: JobRef) {
+        self.shared.lock().queue.push_back(job);
+        self.work_available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<JobRef> {
+        self.shared.lock().queue.pop_front()
+    }
+
+    /// Removes `job` from the queue if no other thread has claimed it yet. `true`
+    /// means the caller now owns the job (the steal-back path of [`join`]).
+    fn try_remove(&self, job: JobRef) -> bool {
+        let queue = &mut self.shared.lock().queue;
+        // Scan from the back: the job being stolen back is almost always the one
+        // pushed most recently by this thread.
+        if let Some(pos) = queue.iter().rposition(|j| j.same_job(&job)) {
+            queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Spawns the pool's worker threads (width minus the calling thread).
+    fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        (1..self.threads)
+            .map(|i| {
+                let state = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || state.worker_loop())
+                    .expect("spawn pool worker")
+            })
+            .collect()
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        // Nested fork-joins inside jobs must target this worker's own pool.
+        let _guard = CurrentPoolGuard::set(Arc::clone(&self));
+        loop {
+            let job = {
+                let mut shared = self.shared.lock();
+                loop {
+                    if let Some(job) = shared.queue.pop_front() {
+                        break Some(job);
+                    }
+                    if shared.shutdown {
+                        break None;
+                    }
+                    self.work_available.wait(&mut shared);
+                }
+            };
+            match job {
+                // SAFETY: popped from the queue, hence alive and unexecuted.
+                Some(job) => unsafe { job.execute() },
+                None => return,
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_POOL: RefCell<Vec<Arc<PoolState>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII frame marking a pool as the current one for this thread.
+struct CurrentPoolGuard;
+
+impl CurrentPoolGuard {
+    fn set(pool: Arc<PoolState>) -> CurrentPoolGuard {
+        CURRENT_POOL.with(|stack| stack.borrow_mut().push(pool));
+        CurrentPoolGuard
+    }
+}
+
+impl Drop for CurrentPoolGuard {
+    fn drop(&mut self) {
+        CURRENT_POOL.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+fn current_pool() -> Arc<PoolState> {
+    CURRENT_POOL
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(global_pool)
+}
+
+static GLOBAL_POOL: OnceLock<Arc<PoolState>> = OnceLock::new();
+
+fn global_pool() -> Arc<PoolState> {
+    Arc::clone(GLOBAL_POOL.get_or_init(|| {
+        let state = PoolState::new(default_thread_count());
+        // Global workers run for the life of the process; the handles are dropped.
+        let _ = state.spawn_workers();
+        state
+    }))
+}
+
+/// Pool width from the environment: `RLT_THREADS`, then `RAYON_NUM_THREADS`, then the
+/// machine's available parallelism. Unparsable or zero values fall through.
+fn default_thread_count() -> usize {
+    for var in ["RLT_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(value) = std::env::var(var) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Width of the thread pool in scope on this thread (the installed pool if inside
+/// [`ThreadPool::install`], the global pool otherwise). A return of 1 means
+/// [`join`]/[`scope`]/[`par_map`] run strictly sequentially.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    current_pool().threads
+}
+
+// ---------------------------------------------------------------------------
+// join / scope / par_map
+// ---------------------------------------------------------------------------
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both results.
+///
+/// `oper_a` always runs on the calling thread; `oper_b` is offered to the pool and
+/// stolen back (run inline) if no worker takes it first, so sequential pools degrade
+/// to exactly `(oper_a(), oper_b())`. A panic in either closure is re-raised here
+/// after **both** closures have finished, `oper_a`'s panic taking precedence.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    if pool.sequential() {
+        return (oper_a(), oper_b());
+    }
+    let job_b = StackJob::new(oper_b);
+    // SAFETY: this frame blocks on the job's latch before `job_b` drops.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    pool.push(job_ref);
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+    if pool.try_remove(job_ref) {
+        // SAFETY: removed from the queue above, so this thread owns the job.
+        unsafe { job_ref.execute() };
+    } else {
+        job_b.latch.wait_while_helping(&pool);
+    }
+    let result_b = job_b.take_result();
+    match (result_a, result_b) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(panic), _) | (Ok(_), Err(panic)) => resume_unwind(panic),
+    }
+}
+
+/// A structured-spawn scope handed to the closure of [`scope`].
+#[derive(Debug)]
+pub struct Scope<'scope> {
+    pool: Arc<PoolState>,
+    registry: Arc<ScopeRegistry>,
+    _marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl std::fmt::Debug for ScopeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopeRegistry").finish_non_exhaustive()
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the pool. The closure may borrow from the enclosing
+    /// [`scope`] call (lifetime `'scope`); the scope blocks until it completes. On
+    /// sequential pools the closure runs immediately, inline.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        if self.pool.sequential() {
+            body(self);
+            return;
+        }
+        self.registry.add_one();
+        let scope_ptr = SendPtr(self as *const Scope<'scope>);
+        let func: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Capture the `SendPtr` wrapper itself, not just its (non-`Send`) field.
+            let scope_ptr = scope_ptr;
+            // SAFETY: `scope()` does not return (and the Scope is not dropped) until
+            // the registry count returns to zero, which includes this job.
+            let scope = unsafe { &*scope_ptr.0 };
+            body(scope);
+        });
+        // SAFETY: lifetime erasure. The registry count pins the `'scope` borrow: the
+        // `scope()` frame outlives every spawned job.
+        let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
+        let job = Box::new(HeapJob {
+            func,
+            registry: Arc::clone(&self.registry),
+        });
+        self.pool.push(job.into_job_ref());
+    }
+}
+
+/// Raw pointer wrapper so the spawned closure (which must be `Send`) can carry the
+/// scope reference across threads.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*const T);
+
+// SAFETY: the pointee is a `Scope`, which is only read behind `&` and whose shared
+// state (`PoolState`, `ScopeRegistry`) is synchronized.
+unsafe impl<T> Send for SendPtr<T> {}
+
+/// Creates a fork-join scope: `op` may call [`Scope::spawn`] with closures borrowing
+/// local data, and `scope` returns only after every spawn has finished. The first
+/// panic from `op` or any spawn is re-raised after the scope has quiesced.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let pool = current_pool();
+    let s = Scope {
+        pool: Arc::clone(&pool),
+        registry: ScopeRegistry::new(),
+        _marker: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+    let spawn_panic = s.registry.wait_idle(&pool);
+    match result {
+        Err(panic) => resume_unwind(panic),
+        Ok(value) => {
+            if let Some(panic) = spawn_panic {
+                resume_unwind(panic);
+            }
+            value
+        }
+    }
+}
+
+/// Parallel map over a slice with results in input order (shim-only helper; stands in
+/// for `items.par_iter().map(map).collect::<Vec<_>>()`).
+///
+/// The output is `items.iter().map(map).collect()` exactly — the same values in the
+/// same order — regardless of pool width; only wall-clock scheduling differs.
+pub fn par_map<T, R, F>(items: &[T], map: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let pool = current_pool();
+    if pool.sequential() || items.len() <= 1 {
+        return items.iter().map(map).collect();
+    }
+    par_map_rec(items, &map)
+}
+
+fn par_map_rec<T, R, F>(items: &[T], map: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(map).collect();
+    }
+    let (left, right) = items.split_at(items.len() / 2);
+    let (mut left_results, right_results) =
+        join(|| par_map_rec(left, map), || par_map_rec(right, map));
+    left_results.extend(right_results);
+    left_results
+}
+
+// ---------------------------------------------------------------------------
+// Explicit pools
+// ---------------------------------------------------------------------------
+
+/// Builder for an explicitly sized [`ThreadPool`].
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]. The shim cannot actually fail to
+/// build a pool, but the `Result` mirrors rayon's signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (environment-derived) width.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool width. As in rayon, 0 means "use the default".
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Builds the pool, spawning its worker threads.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(n) if n > 0 => n,
+            _ => default_thread_count(),
+        };
+        let state = PoolState::new(threads);
+        let workers = state.spawn_workers();
+        Ok(ThreadPool { state, workers })
+    }
+}
+
+/// An explicitly sized thread pool. Dropping the pool shuts its workers down (all
+/// jobs are complete by then: `install` blocks until its closure — and therefore
+/// every fork-join the closure started — has finished).
+#[derive(Debug)]
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PoolState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolState")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool as the current pool: [`join`]/[`scope`]/[`par_map`]
+    /// called from `op` (or from jobs it forks) distribute over this pool's workers.
+    /// The closure itself runs on the calling thread, which helps execute jobs.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _guard = CurrentPoolGuard::set(Arc::clone(&self.state));
+        op()
+    }
+
+    /// The pool's logical width (workers + the installing thread).
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.state.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shared.lock().shutdown = true;
+        self.state.work_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 2, 4] {
+            let (a, b) = pool(threads).install(|| join(|| 6 * 7, || "ok"));
+            assert_eq!((a, b), (42, "ok"));
+        }
+    }
+
+    #[test]
+    fn nested_joins_compute_a_sum() {
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            if range.end - range.start <= 8 {
+                range.sum()
+            } else {
+                let mid = range.start + (range.end - range.start) / 2;
+                let (a, b) = join(|| sum(range.start..mid), || sum(mid..range.end));
+                a + b
+            }
+        }
+        for threads in [1, 3] {
+            assert_eq!(pool(threads).install(|| sum(0..1000)), 499_500);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4] {
+            let got = pool(threads).install(|| par_map(&items, |&x| x * x));
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn scope_spawns_all_complete_before_return() {
+        for threads in [1, 4] {
+            let counter = AtomicUsize::new(0);
+            pool(threads).install(|| {
+                scope(|s| {
+                    for _ in 0..32 {
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 32);
+        }
+    }
+
+    #[test]
+    fn scope_spawn_can_borrow_and_nest() {
+        let data: Vec<u64> = (0..64).collect();
+        let total = AtomicUsize::new(0);
+        let total_ref = &total;
+        pool(3).install(|| {
+            scope(|s| {
+                for chunk in data.chunks(16) {
+                    s.spawn(move |s| {
+                        let (head, tail) = chunk.split_at(8);
+                        let head_sum: u64 = head.iter().sum();
+                        total_ref.fetch_add(head_sum as usize, Ordering::SeqCst);
+                        s.spawn(move |_| {
+                            let tail_sum: u64 = tail.iter().sum();
+                            total_ref.fetch_add(tail_sum as usize, Ordering::SeqCst);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), (0..64).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        for threads in [1, 2] {
+            let result = std::panic::catch_unwind(|| {
+                pool(threads).install(|| join(|| 1, || panic!("boom-b")));
+            });
+            let payload = result.unwrap_err();
+            let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(message, "boom-b");
+        }
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panics() {
+        let result = std::panic::catch_unwind(|| {
+            pool(2).install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("boom-spawn"));
+                });
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn install_sets_current_num_threads() {
+        let p = pool(3);
+        assert_eq!(p.current_num_threads(), 3);
+        assert_eq!(p.install(current_num_threads), 3);
+        let q = pool(1);
+        // Nested installs: innermost pool wins, and the previous one is restored.
+        p.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            q.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        // With width 1 nothing is pushed to a queue, so thread-locals and non-Sync
+        // state on the calling thread remain visible to both closures.
+        let mut left = 0;
+        let mut right = 0;
+        pool(1).install(|| {
+            join(|| left = 1, || right = 2);
+        });
+        assert_eq!((left, right), (1, 2));
+    }
+
+    #[test]
+    fn builder_zero_threads_means_default() {
+        let p = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(p.current_num_threads() >= 1);
+    }
+}
