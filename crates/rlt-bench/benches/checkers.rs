@@ -1,24 +1,25 @@
 //! Experiments E10/E11 (engineering): scaling of the analysis tools.
 //!
 //! * The general-purpose linearizability checker (backtracking with memoization) vs
-//!   history length (E10).
+//!   history length (E10), through a reused [`Checker`] session.
 //! * The fork-join engine across thread-pool widths, single checks and batches (E11).
+//! * Reused-session vs fresh-per-call checking on the small-history corpus, where
+//!   allocation is a visible fraction of check time (the `checker_reuse` group).
 //! * Algorithm 3 (the on-line write strong-linearization function) vs trace length — it
 //!   runs in low polynomial time, which is why the write-strong prefix checks over all
 //!   prefixes are feasible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rlt_bench::{lamport_workload, multi_register_workload, vector_workload};
+use rlt_bench::{lamport_workload, multi_register_workload, small_history_corpus, vector_workload};
 use rlt_registers::algorithm3::vector_linearization;
-use rlt_spec::check_linearizable;
-use rlt_spec::linearizability::{check_linearizable_batch, DEFAULT_STATE_LIMIT};
 use rlt_spec::reference::reference_check_linearizable;
-use rlt_spec::History;
+use rlt_spec::{Checker, History, ThreadPolicy, DEFAULT_STATE_LIMIT};
 use std::hint::black_box;
 
 fn linearizability_checker(c: &mut Criterion) {
     let mut group = c.benchmark_group("check_linearizable");
     group.sample_size(20);
+    let checker = Checker::new(0i64);
     // 80 decisions was the ceiling of the pre-engine checker's coverage; the interned
     // bitset engine reaches 160 and 320 comfortably under the state limit.
     for &decisions in &[20usize, 40, 80, 160, 320] {
@@ -27,7 +28,7 @@ fn linearizability_checker(c: &mut Criterion) {
             BenchmarkId::new("lamport_history", history.len()),
             &history,
             |b, h| {
-                b.iter(|| black_box(check_linearizable(h, &0).is_some()));
+                b.iter(|| black_box(checker.check(h).is_linearizable()));
             },
         );
     }
@@ -41,8 +42,9 @@ fn engine_vs_reference(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_vs_reference_80_decisions");
     group.sample_size(20);
     let history = lamport_workload(3, 80, 7);
+    let checker = Checker::new(0i64);
     group.bench_function("engine", |b| {
-        b.iter(|| black_box(check_linearizable(&history, &0).is_some()));
+        b.iter(|| black_box(checker.check(&history).is_linearizable()));
     });
     group.bench_function("reference", |b| {
         b.iter(|| {
@@ -54,11 +56,12 @@ fn engine_vs_reference(c: &mut Criterion) {
 
 fn parallel_engine_scaling(c: &mut Criterion) {
     // Experiment E11: the fork-join engine across pool widths on the multi-register
-    // composition workload, single checks and 16-history batches. Results are
-    // bit-identical across widths (pinned by the rlt-spec `parallel` suite); only
-    // wall time may move. On a single-core host expect flat-to-slightly-worse
-    // single-check numbers at width > 1 (pool overhead with no extra hardware) and
-    // batch numbers dominated by the per-history check cost.
+    // composition workload, single checks and 16-history batches, through
+    // `ThreadPolicy::Fixed` checkers. Results are bit-identical across widths (pinned
+    // by the rlt-spec `parallel` suite); only wall time may move. On a single-core
+    // host expect flat-to-slightly-worse single-check numbers at width > 1 (pool
+    // overhead with no extra hardware) and batch numbers dominated by the per-history
+    // check cost.
     let mut group = c.benchmark_group("parallel_engine_multi_register_3x");
     group.sample_size(20);
     let history = multi_register_workload(3, 80, 7);
@@ -66,29 +69,64 @@ fn parallel_engine_scaling(c: &mut Criterion) {
         .map(|s| multi_register_workload(3, 80, 7 + s))
         .collect();
     for &threads in &[1usize, 2, 4] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("build pool");
+        let checker = Checker::builder(0i64)
+            .threads(ThreadPolicy::Fixed(threads))
+            .build();
         group.bench_with_input(
             BenchmarkId::new("single_check_threads", threads),
             &history,
             |b, h| {
-                b.iter(|| pool.install(|| black_box(check_linearizable(h, &0).is_some())));
+                b.iter(|| black_box(checker.check(h).is_linearizable()));
             },
         );
         group.bench_with_input(
             BenchmarkId::new("batch16_threads", threads),
             &batch,
             |b, hs| {
-                b.iter(|| {
-                    pool.install(|| {
-                        black_box(check_linearizable_batch(hs, &0, DEFAULT_STATE_LIMIT).len())
-                    })
-                });
+                b.iter(|| black_box(checker.check_many(hs).len()));
             },
         );
     }
+    group.finish();
+}
+
+fn checker_reuse(c: &mut Criterion) {
+    // Scratch-arena reuse on the small-history corpus: one reused session vs a fresh
+    // checker (cold arenas) per call. Sequential policy on both sides so the diff is
+    // allocation, not pool scheduling. Verdicts are identical either way.
+    let mut group = c.benchmark_group("checker_reuse");
+    group.sample_size(20);
+    let corpus = small_history_corpus(256, 14, 2, 42);
+    let reused = Checker::builder(0i64)
+        .threads(ThreadPolicy::Sequential)
+        .build();
+    group.bench_function("reused_checker", |b| {
+        b.iter(|| {
+            black_box(
+                corpus
+                    .iter()
+                    .filter(|h| reused.check(h).is_linearizable())
+                    .count(),
+            )
+        });
+    });
+    group.bench_function("fresh_checker_per_call", |b| {
+        b.iter(|| {
+            black_box(
+                corpus
+                    .iter()
+                    .filter(|h| {
+                        Checker::builder(0i64)
+                            .threads(ThreadPolicy::Sequential)
+                            .scratch_reuse(false)
+                            .build()
+                            .check(h)
+                            .is_linearizable()
+                    })
+                    .count(),
+            )
+        });
+    });
     group.finish();
 }
 
@@ -116,11 +154,12 @@ fn algorithm3_vs_general_checker(c: &mut Criterion) {
     group.sample_size(20);
     let sim = vector_workload(3, 40, 5);
     let trace = sim.trace();
+    let checker = Checker::new(0i64);
     group.bench_function("algorithm3", |b| {
         b.iter(|| black_box(vector_linearization(&trace, None).is_some()));
     });
     group.bench_function("general_checker", |b| {
-        b.iter(|| black_box(check_linearizable(&trace.history, &0).is_some()));
+        b.iter(|| black_box(checker.check(&trace.history).is_linearizable()));
     });
     group.finish();
 }
@@ -130,6 +169,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = linearizability_checker, engine_vs_reference, parallel_engine_scaling, algorithm3_linearization, algorithm3_vs_general_checker
+    targets = linearizability_checker, engine_vs_reference, parallel_engine_scaling, checker_reuse, algorithm3_linearization, algorithm3_vs_general_checker
 }
 criterion_main!(benches);

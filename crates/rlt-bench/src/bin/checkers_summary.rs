@@ -4,12 +4,13 @@
 //! across PRs (see `EXPERIMENTS.md`):
 //!
 //! * `BENCH_checkers.json` — experiments E10 (checker scaling) and E11 (parallel
-//!   engine scaling): the engine-backed `check_linearizable_report` vs the pre-engine
+//!   engine scaling): the engine-backed [`Checker`] session vs the pre-engine
 //!   reference checker on the `lamport_history` and `multi_register_3x` workloads,
-//!   plus the fork-join engine across thread-pool widths (single checks through
-//!   `ThreadPool::install`, 16-history batches through `check_linearizable_batch`).
-//!   Every row carries a `threads` field; `threads: 1` rows are the sequential
-//!   engine, directly comparable with earlier PRs' rows.
+//!   the fork-join engine across thread-pool widths (single checks and 16-history
+//!   `check_many` batches through `ThreadPolicy::Fixed` checkers), and the
+//!   `checker_reused` / `checker_fresh` scratch-reuse pair on the small-history
+//!   corpus. Every row carries a `threads` field; `threads: 1` rows are the
+//!   sequential engine, directly comparable with earlier PRs' rows.
 //! * `BENCH_game.json` — experiment E2: cost of 10-round Figure 1/2 games per
 //!   register mode and process count, plus full termination experiments.
 //! * `BENCH_abd.json` — experiment E3: ABD write+read round-trip cost as the cluster
@@ -21,15 +22,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlt_bench::{lamport_workload, multi_register_workload};
+use rlt_bench::{lamport_workload, multi_register_workload, small_history_corpus};
 use rlt_game::{run_game, termination_experiment, GameConfig};
 use rlt_mp::AbdCluster;
 use rlt_sim::RegisterMode;
-use rlt_spec::linearizability::{
-    check_linearizable_batch, check_linearizable_report, DEFAULT_STATE_LIMIT,
-};
 use rlt_spec::reference::reference_check_linearizable;
-use rlt_spec::{History, ProcessId};
+use rlt_spec::{Checker, History, ProcessId, ThreadPolicy, DEFAULT_STATE_LIMIT};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -51,6 +49,14 @@ const THREAD_COUNTS: &[usize] = &[1, 2, 4];
 
 /// Histories per batch in the `engine_batch` rows.
 const BATCH_SIZE: u64 = 16;
+
+/// Histories in the `checker_reused` / `checker_fresh` scratch-reuse corpus.
+const REUSE_CORPUS: usize = 256;
+
+/// Max operations per history in the scratch-reuse corpus: small enough that
+/// allocation is a visible fraction of check time, concurrent enough that the memo
+/// tables see real traffic (reuse keeps their grown capacity warm).
+const REUSE_MAX_OPS: usize = 14;
 
 /// Wall-time budget per measured point; iterations repeat until it is spent.
 const MEASURE_BUDGET_NANOS: u128 = 200_000_000;
@@ -87,69 +93,60 @@ fn mean_time<F: FnMut() -> bool>(mut f: F) -> (u128, u64, bool) {
 }
 
 fn measure_engine(workload: &str, history: &History<i64>) -> Row {
-    let probe = check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT);
-    let (mean_wall_nanos, iterations, linearizable) = mean_time(|| {
-        check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT)
-            .witness
-            .is_some()
-    });
+    let checker = Checker::new(0i64);
+    let probe = checker.check(history);
+    let (mean_wall_nanos, iterations, linearizable) =
+        mean_time(|| checker.check(history).is_linearizable());
     Row {
         checker: "engine",
         workload: workload.to_string(),
         ops: history.len(),
         threads: 1,
         linearizable,
-        states_explored: probe.states_explored,
-        states_memoized: probe.states_memoized,
+        states_explored: probe.stats().states_explored,
+        states_memoized: probe.stats().states_memoized,
         mean_wall_nanos,
         iterations,
-        limit_hit: probe.limit_hit,
+        limit_hit: !probe.is_conclusive(),
     }
 }
 
-/// One full check through a pool of the given width (the per-register sub-searches
-/// fork-join across the pool).
+/// One full check through a `ThreadPolicy::Fixed` checker of the given width (the
+/// per-register sub-searches fork-join across the checker's pool).
 fn measure_engine_parallel(workload: &str, history: &History<i64>, threads: usize) -> Row {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("build pool");
-    let probe = pool.install(|| check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT));
-    let (mean_wall_nanos, iterations, linearizable) = mean_time(|| {
-        pool.install(|| {
-            check_linearizable_report(history, &0, DEFAULT_STATE_LIMIT)
-                .witness
-                .is_some()
-        })
-    });
+    let checker = Checker::builder(0i64)
+        .threads(ThreadPolicy::Fixed(threads))
+        .build();
+    let probe = checker.check(history);
+    let (mean_wall_nanos, iterations, linearizable) =
+        mean_time(|| checker.check(history).is_linearizable());
     Row {
         checker: "engine_parallel",
         workload: workload.to_string(),
         ops: history.len(),
         threads,
         linearizable,
-        states_explored: probe.states_explored,
-        states_memoized: probe.states_memoized,
+        states_explored: probe.stats().states_explored,
+        states_memoized: probe.stats().states_memoized,
         mean_wall_nanos,
         iterations,
-        limit_hit: probe.limit_hit,
+        limit_hit: !probe.is_conclusive(),
     }
 }
 
-/// A 16-history batch fanned across the pool; `mean_wall_nanos` is per *history* so
-/// the row is directly comparable with the single-check rows.
+/// A 16-history `check_many` batch through a `ThreadPolicy::Fixed` checker;
+/// `mean_wall_nanos` is per *history* so the row is directly comparable with the
+/// single-check rows.
 fn measure_engine_batch(workload: &str, histories: &[History<i64>], threads: usize) -> Row {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("build pool");
-    let probe = pool.install(|| check_linearizable_batch(histories, &0, DEFAULT_STATE_LIMIT));
+    let checker = Checker::builder(0i64)
+        .threads(ThreadPolicy::Fixed(threads))
+        .build();
+    let probe = checker.check_many(histories);
     let (mean_batch_nanos, iterations, linearizable) = mean_time(|| {
-        pool.install(|| {
-            check_linearizable_batch(histories, &0, DEFAULT_STATE_LIMIT)
-                .iter()
-                .all(|r| r.witness.is_some())
-        })
+        checker
+            .check_many(histories)
+            .iter()
+            .all(rlt_spec::Verdict::is_linearizable)
     });
     Row {
         checker: "engine_batch",
@@ -157,11 +154,61 @@ fn measure_engine_batch(workload: &str, histories: &[History<i64>], threads: usi
         ops: histories.iter().map(History::len).sum::<usize>() / histories.len(),
         threads,
         linearizable,
-        states_explored: probe.iter().map(|r| r.states_explored).sum(),
-        states_memoized: probe.iter().map(|r| r.states_memoized).sum(),
+        states_explored: probe.iter().map(|r| r.stats().states_explored).sum(),
+        states_memoized: probe.iter().map(|r| r.stats().states_memoized).sum(),
         mean_wall_nanos: mean_batch_nanos / histories.len().max(1) as u128,
         iterations,
-        limit_hit: probe.iter().any(|r| r.limit_hit),
+        limit_hit: probe.iter().any(|r| !r.is_conclusive()),
+    }
+}
+
+/// Scratch-arena reuse on the small-history corpus: one reused session vs a fresh
+/// cold-arena checker per call (`reuse = false`). Sequential policy on both sides so
+/// the diff is allocation, not pool scheduling; `mean_wall_nanos` is per history.
+fn measure_checker_reuse(workload: &str, histories: &[History<i64>], reuse: bool) -> Row {
+    let session = Checker::builder(0i64)
+        .threads(ThreadPolicy::Sequential)
+        .build();
+    let probe: Vec<_> = histories.iter().map(|h| session.check(h)).collect();
+    // `filter(..).count()`, not `all(..)`: every history must actually be checked (a
+    // short-circuiting combinator would stop at the first violation and measure
+    // almost nothing).
+    let (mean_corpus_nanos, iterations, linearizable) = mean_time(|| {
+        let linearizable = if reuse {
+            histories
+                .iter()
+                .filter(|h| session.check(h).is_linearizable())
+                .count()
+        } else {
+            histories
+                .iter()
+                .filter(|h| {
+                    Checker::builder(0i64)
+                        .threads(ThreadPolicy::Sequential)
+                        .scratch_reuse(false)
+                        .build()
+                        .check(h)
+                        .is_linearizable()
+                })
+                .count()
+        };
+        linearizable == histories.len()
+    });
+    Row {
+        checker: if reuse {
+            "checker_reused"
+        } else {
+            "checker_fresh"
+        },
+        workload: workload.to_string(),
+        ops: histories.iter().map(History::len).sum::<usize>() / histories.len(),
+        threads: 1,
+        linearizable,
+        states_explored: probe.iter().map(|r| r.stats().states_explored).sum(),
+        states_memoized: probe.iter().map(|r| r.stats().states_memoized).sum(),
+        mean_wall_nanos: mean_corpus_nanos / histories.len().max(1) as u128,
+        iterations,
+        limit_hit: probe.iter().any(|r| !r.is_conclusive()),
     }
 }
 
@@ -237,6 +284,13 @@ fn checker_rows() -> Vec<Row> {
             log_row(&row);
             rows.push(row);
         }
+    }
+    let corpus = small_history_corpus(REUSE_CORPUS, REUSE_MAX_OPS, 2, 42);
+    let name = format!("small_history_corpus/{REUSE_CORPUS}");
+    for reuse in [true, false] {
+        let row = measure_checker_reuse(&name, &corpus, reuse);
+        log_row(&row);
+        rows.push(row);
     }
     rows
 }

@@ -14,10 +14,12 @@
 
 #![warn(missing_docs)]
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rlt_registers::algorithm2::VectorSim;
 use rlt_registers::algorithm4::LamportSim;
 use rlt_registers::schedule::{random_run, MwmrStepSim, WorkloadParams};
-use rlt_spec::{History, Operation, RegisterId};
+use rlt_spec::{History, HistoryBuilder, OpId, Operation, ProcessId, RegisterId};
 
 /// Builds an Algorithm 2 trace from a seeded random workload (used by the checker
 /// benchmarks so the workload generation is not measured).
@@ -75,6 +77,58 @@ pub fn multi_register_workload(k: usize, decisions: usize, seed: u64) -> History
         }
     }
     History::from_operations(ops)
+}
+
+/// A corpus of small seeded well-formed histories (the differential-suite shape:
+/// mixed pending/completed operations, small value domain). At ~10 operations a
+/// history, allocation is a visible fraction of per-check time — exactly the workload
+/// where a reused [`rlt_spec::Checker`]'s warm scratch arenas pay off; the
+/// `checker_reuse` bench group and the `BENCH_checkers.json` `checker_reused` /
+/// `checker_fresh` rows both run over this corpus.
+#[must_use]
+pub fn small_history_corpus(
+    count: usize,
+    max_ops: usize,
+    registers: usize,
+    seed: u64,
+) -> Vec<History<i64>> {
+    (0..count as u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i.wrapping_mul(0x9e37)));
+            let mut b: HistoryBuilder<i64> = HistoryBuilder::new();
+            let mut open: Vec<(OpId, bool)> = Vec::new();
+            let n_ops = rng.gen_range(1..=max_ops);
+            for _ in 0..n_ops {
+                let p = ProcessId(rng.gen_range(0..4));
+                let r = RegisterId(rng.gen_range(0..registers));
+                if rng.gen_bool(0.5) {
+                    let v = rng.gen_range(0..4) as i64;
+                    open.push((b.invoke_write(p, r, v), false));
+                } else {
+                    open.push((b.invoke_read(p, r), true));
+                }
+                while !open.is_empty() && rng.gen_bool(0.4) {
+                    let idx = rng.gen_range(0..open.len());
+                    let (id, is_read) = open.swap_remove(idx);
+                    if is_read {
+                        b.respond_read(id, rng.gen_range(0..4) as i64);
+                    } else {
+                        b.respond_write(id);
+                    }
+                }
+            }
+            for (id, is_read) in std::mem::take(&mut open) {
+                if rng.gen_bool(0.5) {
+                    if is_read {
+                        b.respond_read(id, rng.gen_range(0..4) as i64);
+                    } else {
+                        b.respond_write(id);
+                    }
+                }
+            }
+            b.build()
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -72,7 +72,7 @@ mod tests {
         use crate::prelude::*;
         let mut b: HistoryBuilder<i64> = HistoryBuilder::new();
         b.write(ProcessId(0), RegisterId(0), 1);
-        assert!(check_linearizable(&b.build(), &0).is_some());
+        assert!(Checker::new(0i64).check(&b.build()).is_linearizable());
         let _ = RegisterMode::Atomic;
     }
 }

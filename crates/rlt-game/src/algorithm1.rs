@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlt_sim::{CoinSource, RegisterMode, SharedMem};
-use rlt_spec::{check_linearizable, ProcessId, RegisterId, Value};
+use rlt_spec::{Checker, ProcessId, RegisterId, Value};
 use serde::{Deserialize, Serialize};
 
 /// The MWMR register `R1` of Algorithm 1.
@@ -304,7 +304,7 @@ pub fn run_game(mode: RegisterMode, config: &GameConfig, seed: u64) -> GameOutco
 
     let history = mem.history();
     let history_linearizable = if config.check_linearizability {
-        Some(check_linearizable(&history, &Value::Init).is_some())
+        Some(Checker::new(Value::Init).check(&history).is_linearizable())
     } else {
         None
     };

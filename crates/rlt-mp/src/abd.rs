@@ -441,7 +441,17 @@ impl AbdCluster {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use rlt_spec::check_linearizable;
+    use rlt_spec::Checker;
+
+    /// One checking session shared by every assertion in this module.
+    fn is_linearizable(h: &rlt_spec::History<i64>) -> bool {
+        static CHECKER: std::sync::OnceLock<Checker<i64>> = std::sync::OnceLock::new();
+        CHECKER
+            .get_or_init(|| Checker::new(0i64))
+            .check(h)
+            .is_linearizable()
+    }
+
     use rlt_spec::strategy::check_write_strong_prefix_property;
     use rlt_spec::swmr::canonical_swmr_strategy;
 
@@ -461,7 +471,7 @@ mod tests {
         let h = c.history();
         let read = h.reads().next().unwrap();
         assert_eq!(read.read_value(), Some(&42));
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(is_linearizable(&h));
     }
 
     #[test]
@@ -489,7 +499,7 @@ mod tests {
             c.start_read(ProcessId(4));
             c.run_to_quiescence(&mut r, 10_000);
             let h = c.history();
-            assert!(check_linearizable(&h, &0).is_some(), "seed {seed}");
+            assert!(is_linearizable(&h), "seed {seed}");
             let read_value = h.reads().next().unwrap().read_value().copied();
             match read_value {
                 Some(0) => saw_old = true,
@@ -522,7 +532,7 @@ mod tests {
         c.run_to_quiescence(&mut r, 10_000);
         let h = c.history();
         assert_eq!(h.reads().next().unwrap().read_value(), Some(&9));
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(is_linearizable(&h));
     }
 
     #[test]
@@ -538,7 +548,7 @@ mod tests {
         assert!(!c.is_idle(ProcessId(0)));
         let h = c.history();
         assert_eq!(h.pending().count(), 1);
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(is_linearizable(&h));
     }
 
     #[test]
@@ -550,7 +560,7 @@ mod tests {
             c.run_to_quiescence(&mut r, 10_000);
         }
         assert_eq!(c.replica_state(ProcessId(1)).0, 4);
-        assert!(check_linearizable(&c.history(), &0).is_some());
+        assert!(is_linearizable(&c.history()));
     }
 
     #[test]
@@ -578,7 +588,7 @@ mod tests {
             c.run_to_quiescence(&mut r, 100_000);
             let h = c.history();
             assert!(
-                check_linearizable(&h, &0).is_some(),
+                is_linearizable(&h),
                 "ABD produced a non-linearizable history on seed {seed}"
             );
             let strategy = canonical_swmr_strategy(0i64);
@@ -602,7 +612,7 @@ mod tests {
         c.run_to_quiescence(&mut r, 100_000);
         let h = c.history();
         assert_eq!(h.pending().count(), 0);
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(is_linearizable(&h));
     }
 
     #[test]

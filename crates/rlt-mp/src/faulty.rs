@@ -350,7 +350,16 @@ impl FaultyAbdCluster {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use rlt_spec::check_linearizable;
+    use rlt_spec::Checker;
+
+    /// One checking session shared by every assertion in this module.
+    fn is_linearizable(h: &rlt_spec::History<i64>) -> bool {
+        static CHECKER: std::sync::OnceLock<Checker<i64>> = std::sync::OnceLock::new();
+        CHECKER
+            .get_or_init(|| Checker::new(0i64))
+            .check(h)
+            .is_linearizable()
+    }
 
     #[test]
     fn quiescent_sequential_use_still_works() {
@@ -364,7 +373,7 @@ mod tests {
         c.run_to_quiescence(&mut rng, 10_000);
         let h = c.history();
         assert_eq!(h.reads().next().unwrap().read_value(), Some(&5));
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(is_linearizable(&h));
     }
 
     #[test]
@@ -377,7 +386,7 @@ mod tests {
             // prevent.
             assert_eq!(r_values, vec![7, 0], "n = {n}");
             assert!(
-                check_linearizable(&h, &0).is_none(),
+                !is_linearizable(&h),
                 "new/old inversion must be rejected (n = {n})"
             );
         }
@@ -399,7 +408,7 @@ mod tests {
             c.run_to_quiescence(&mut rng, 5);
             c.start_read(ProcessId(2));
             c.run_to_quiescence(&mut rng, 100_000);
-            if check_linearizable(&c.history(), &0).is_none() {
+            if !is_linearizable(&c.history()) {
                 violation_found = true;
                 break;
             }
@@ -407,7 +416,7 @@ mod tests {
         assert!(
             violation_found || {
                 // Fall back to the deterministic construction if randomness was unlucky.
-                check_linearizable(&FaultyAbdCluster::new_old_inversion(5), &0).is_none()
+                !is_linearizable(&FaultyAbdCluster::new_old_inversion(5))
             }
         );
     }

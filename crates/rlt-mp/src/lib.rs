@@ -11,7 +11,7 @@
 //!   delivery order is controlled by the caller (the adversary), with crash failures of
 //!   a minority of processes.
 //! * Recorded register-level histories ready to be checked with [`rlt_spec`]:
-//!   linearizability via [`rlt_spec::check_linearizable`] and the Theorem 14 property
+//!   linearizability via a [`rlt_spec::Checker`] session and the Theorem 14 property
 //!   via [`rlt_spec::swmr::SwmrCanonical`] and
 //!   [`rlt_spec::strategy::check_write_strong_prefix_property`].
 //!
@@ -30,7 +30,7 @@
 //! cluster.start_read(ProcessId(3));
 //! cluster.run_to_quiescence(&mut rng, 10_000);
 //! let history = cluster.history();
-//! assert!(check_linearizable(&history, &0).is_some());
+//! assert!(Checker::new(0i64).check(&history).is_linearizable());
 //! ```
 
 #![warn(missing_docs)]

@@ -452,7 +452,16 @@ impl VectorSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlt_spec::check_linearizable;
+    use rlt_spec::Checker;
+
+    /// One checking session shared by every assertion in this module.
+    fn is_linearizable(h: &rlt_spec::History<i64>) -> bool {
+        static CHECKER: std::sync::OnceLock<Checker<i64>> = std::sync::OnceLock::new();
+        CHECKER
+            .get_or_init(|| Checker::new(0i64))
+            .check(h)
+            .is_linearizable()
+    }
 
     #[test]
     fn sequential_writes_and_reads_behave_like_a_register() {
@@ -475,7 +484,7 @@ mod tests {
             StepResult::CompletedRead(v, _) => assert_eq!(v, 6),
             other => panic!("unexpected result {other:?}"),
         }
-        assert!(check_linearizable(&sim.history(), &0).is_some());
+        assert!(is_linearizable(&sim.history()));
     }
 
     #[test]
@@ -540,7 +549,7 @@ mod tests {
         assert!(sim.all_idle());
         let h = sim.history();
         assert_eq!(h.completed().count(), 4);
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(is_linearizable(&h));
     }
 
     #[test]

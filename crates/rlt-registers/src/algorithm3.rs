@@ -177,7 +177,7 @@ mod tests {
     use super::*;
     use crate::algorithm2::VectorSim;
     use rlt_spec::strategy::{check_strong_prefix_property, check_write_strong_prefix_property};
-    use rlt_spec::{check_linearizable, ProcessId};
+    use rlt_spec::{Checker, ProcessId};
 
     fn assert_is_wsl(sim: &VectorSim) {
         let trace = sim.trace();
@@ -286,7 +286,7 @@ mod tests {
             assert!(lin.is_linearization_of(&trace.history, &0), "seed {seed}");
             // Cross-validate with the general-purpose checker.
             assert!(
-                check_linearizable(&trace.history, &0).is_some(),
+                Checker::new(0i64).check(&trace.history).is_linearizable(),
                 "seed {seed}"
             );
         }

@@ -395,7 +395,16 @@ impl LamportSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlt_spec::check_linearizable;
+    use rlt_spec::Checker;
+
+    /// One checking session shared by every assertion in this module.
+    fn is_linearizable(h: &rlt_spec::History<i64>) -> bool {
+        static CHECKER: std::sync::OnceLock<Checker<i64>> = std::sync::OnceLock::new();
+        CHECKER
+            .get_or_init(|| Checker::new(0i64))
+            .check(h)
+            .is_linearizable()
+    }
 
     #[test]
     fn sequential_behaviour_matches_a_register() {
@@ -420,7 +429,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(check_linearizable(&sim.history(), &0).is_some());
+        assert!(is_linearizable(&sim.history()));
     }
 
     #[test]
@@ -474,7 +483,7 @@ mod tests {
             }
             sim.run_round_robin(100_000);
             assert!(
-                check_linearizable(&sim.history(), &0).is_some(),
+                is_linearizable(&sim.history()),
                 "Theorem 12 violated on seed {seed}"
             );
         }

@@ -175,7 +175,17 @@ impl LamportRegister {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlt_spec::check_linearizable;
+    use rlt_spec::Checker;
+
+    /// One checking session shared by every assertion in this module.
+    fn is_linearizable(h: &rlt_spec::History<i64>) -> bool {
+        static CHECKER: std::sync::OnceLock<Checker<i64>> = std::sync::OnceLock::new();
+        CHECKER
+            .get_or_init(|| Checker::new(0i64))
+            .check(h)
+            .is_linearizable()
+    }
+
     use std::thread;
 
     #[test]
@@ -186,7 +196,7 @@ mod tests {
         assert_eq!(reg.read(ProcessId(2)), 5);
         reg.write(ProcessId(1), 6);
         assert_eq!(reg.read(ProcessId(2)), 6);
-        assert!(check_linearizable(&reg.history(), &0).is_some());
+        assert!(is_linearizable(&reg.history()));
     }
 
     #[test]
@@ -197,7 +207,7 @@ mod tests {
         assert_eq!(reg.read(ProcessId(2)), 5);
         reg.write(ProcessId(1), 6);
         assert_eq!(reg.read(ProcessId(2)), 6);
-        assert!(check_linearizable(&reg.history(), &0).is_some());
+        assert!(is_linearizable(&reg.history()));
     }
 
     #[test]
@@ -222,7 +232,7 @@ mod tests {
         let history = reg.history();
         assert_eq!(history.len(), 12);
         assert!(
-            check_linearizable(&history, &0).is_some(),
+            is_linearizable(&history),
             "threaded Algorithm 2 produced a non-linearizable history:\n{history}"
         );
     }
@@ -249,7 +259,7 @@ mod tests {
         let history = reg.history();
         assert_eq!(history.len(), 12);
         assert!(
-            check_linearizable(&history, &0).is_some(),
+            is_linearizable(&history),
             "threaded Algorithm 4 produced a non-linearizable history:\n{history}"
         );
     }

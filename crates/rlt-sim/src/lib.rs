@@ -35,7 +35,7 @@
 //! mem.finish_write(w);
 //! let rd = mem.begin_read(ProcessId(1), r1);
 //! assert_eq!(mem.finish_read(rd), Value::Int(7));
-//! assert!(check_linearizable(&mem.history(), &Value::Init).is_some());
+//! assert!(Checker::new(Value::Init).check(&mem.history()).is_linearizable());
 //! ```
 
 #![warn(missing_docs)]

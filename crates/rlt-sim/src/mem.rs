@@ -15,7 +15,7 @@ pub enum RegisterMode {
     /// [`ReadResolver`]) may choose the return value of each finishing read among every
     /// value written so far plus the initial value. This models the "off-line"
     /// linearization power used by the Theorem 6 adversary. The recorded history should
-    /// be validated with [`rlt_spec::check_linearizable`] after the run — the register
+    /// be validated with [`rlt_spec::Checker`] after the run — the register
     /// itself does not restrict the adversary.
     Linearizable,
     /// Write strongly-linearizable semantics (Definition 4): the linearization order of
@@ -605,6 +605,15 @@ mod tests {
     use rlt_spec::prelude::*;
     use rlt_spec::strong::ExtensionFamily;
 
+    /// One checking session shared by every assertion in this module.
+    fn is_linearizable(h: &History<i64>) -> bool {
+        static CHECKER: std::sync::OnceLock<Checker<i64>> = std::sync::OnceLock::new();
+        CHECKER
+            .get_or_init(|| Checker::new(0i64))
+            .check(h)
+            .is_linearizable()
+    }
+
     const R: RegisterId = RegisterId(0);
     const P0: ProcessId = ProcessId(0);
     const P1: ProcessId = ProcessId(1);
@@ -618,7 +627,7 @@ mod tests {
         assert_eq!(mem.read(P1, R), 5);
         mem.write(P0, R, 6);
         assert_eq!(mem.read(P1, R), 6);
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -628,7 +637,7 @@ mod tests {
         assert_eq!(mem.read(P1, R), 0);
         mem.finish_write(w);
         assert_eq!(mem.read(P1, R), 9);
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -648,7 +657,7 @@ mod tests {
         mem.finish_write(w1);
         mem.finish_write(w2);
         // This particular choice *is* linearizable (w1 before w2).
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -664,7 +673,7 @@ mod tests {
         mem.write(P0, R, 1);
         assert_eq!(mem.read(P2, R), 1);
         assert_eq!(mem.read(P2, R), 0); // stale: not linearizable
-        assert!(check_linearizable(&mem.history(), &0).is_none());
+        assert!(!is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -679,7 +688,7 @@ mod tests {
         // the read was invoked, so 0 is not admissible; the lenient resolver falls back
         // to the committed value.
         assert_eq!(mem.read(P2, R), 1);
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -695,7 +704,7 @@ mod tests {
         // A read invoked now must return the write at or above the floor (w1, which
         // completed last and sits at position 1).
         assert_eq!(mem.read(P2, R), 1);
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -712,7 +721,7 @@ mod tests {
         mem.finish_write(w);
         // Completing the write later must not move it in the committed order.
         assert_eq!(mem.committed_write_order(R), vec![id]);
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -729,7 +738,7 @@ mod tests {
         // The next read is invoked after the first responded, so it may not go back.
         let v = mem.read(P2, R);
         assert_eq!(v, 2);
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -755,7 +764,7 @@ mod tests {
         // fine for linearizability only if rb is linearized before w and ra after; the
         // checker confirms.
         assert_eq!(v, 0);
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -825,7 +834,7 @@ mod tests {
         for h in handles {
             mem.finish_write(h);
         }
-        assert!(check_linearizable(&mem.history(), &0).is_some());
+        assert!(is_linearizable(&mem.history()));
     }
 
     #[test]
@@ -854,7 +863,9 @@ mod tests {
         // The pending w1 is now committed after w0; a fresh read cannot go back to w0.
         assert_eq!(mem.read(ProcessId(3), R), Value::Pair(1, 1));
         mem.finish_write(w1);
-        assert!(check_linearizable(&mem.history(), &Value::Init).is_some());
+        assert!(Checker::new(Value::Init)
+            .check(&mem.history())
+            .is_linearizable());
     }
 
     #[test]
@@ -879,8 +890,8 @@ mod tests {
         };
         let ext_a = build(2);
         let ext_b = build(1);
-        assert!(check_linearizable(&ext_a, &0).is_some());
-        assert!(check_linearizable(&ext_b, &0).is_some());
+        assert!(is_linearizable(&ext_a));
+        assert!(is_linearizable(&ext_b));
         // The two continuations share the same base prefix (same op ids and times by
         // construction) yet force opposite write orders — the family admits no write
         // strong-linearization.

@@ -303,7 +303,7 @@ mod tests {
         assert_eq!(outcome.steps, 16); // 4 processes x 4 steps
         let h = sched.history();
         assert_eq!(h.len(), 8); // 4 writes + 4 reads
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(Checker::new(0i64).check(&h).is_linearizable());
     }
 
     #[test]
@@ -316,7 +316,7 @@ mod tests {
         assert_eq!(run(5), run(5));
         // Different seeds usually give different interleavings; at minimum they must
         // both be linearizable.
-        assert!(check_linearizable(&run(6), &0).is_some());
+        assert!(Checker::new(0i64).check(&run(6)).is_linearizable());
     }
 
     #[test]
@@ -326,7 +326,7 @@ mod tests {
             let outcome = sched.run(10_000);
             assert!(outcome.all_done);
             assert!(
-                check_linearizable(&sched.history(), &0).is_some(),
+                Checker::new(0i64).check(&sched.history()).is_linearizable(),
                 "seed {seed} produced a non-linearizable atomic history"
             );
         }

@@ -54,8 +54,9 @@
 //!    the cap.
 
 use crate::history::History;
-use crate::ids::{RegisterId, Time};
+use crate::ids::{OpId, RegisterId, Time};
 use crate::op::{OpKind, Operation};
+use crate::sequential::SeqHistory;
 use crate::value::RegisterValue;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -273,39 +274,66 @@ impl SubProblem {
     }
 }
 
-/// Memo set over search configurations: a packed `u128` for subproblems whose key fits
-/// in one taken-word plus one slot value (the common per-register case — zero
-/// allocations per node), boxed word slices otherwise.
-enum Memo {
-    Small(HashSet<u128, FastBuildHasher>),
-    Large(HashSet<Box<[u64]>, FastBuildHasher>),
+// ---------------------------------------------------------------------------
+// Reusable search scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable buffers of one witness search: the taken bitset, the simulated register
+/// state, the partial linearization order, the explicit DFS frame stack, and the memo
+/// tables (a packed-`u128` set for subproblems whose key fits in one taken-word plus
+/// one slot value — the common per-register case, zero allocations per node — and a
+/// boxed-word-slice set otherwise).
+///
+/// A fresh `SearchScratch` is just empty buffers; reusing one across searches keeps
+/// the allocations (and the memo tables' grown hash capacity) warm. Scratch contents
+/// never influence results — every buffer is reset on entry — so reuse is invisible
+/// to verdicts, witnesses, and statistics.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    taken: Vec<u64>,
+    vals: Vec<u32>,
+    order: Vec<u32>,
+    stack: Vec<Frame>,
+    memo_small: HashSet<u128, FastBuildHasher>,
+    memo_large: HashSet<Box<[u64]>, FastBuildHasher>,
 }
 
-impl Memo {
-    fn for_subproblem(sub: &SubProblem) -> Self {
-        // Start with room for a burst of nodes; sequential-ish histories stay within
-        // the initial table and never rehash.
-        let cap = (sub.ops.len() * 4).clamp(16, 1024);
-        if sub.small_keys() {
-            Memo::Small(HashSet::with_capacity_and_hasher(
-                cap,
-                FastBuildHasher::default(),
-            ))
-        } else {
-            Memo::Large(HashSet::with_capacity_and_hasher(
-                cap,
-                FastBuildHasher::default(),
-            ))
-        }
+/// A shared pool of [`SearchScratch`] arenas.
+///
+/// [`Engine::check_with`] and friends pop an arena per worker (fork-join sub-searches
+/// each take their own) and park it back afterwards, so a long-lived owner — a
+/// [`crate::Checker`] — amortizes search allocations across calls and across the
+/// histories of a batch. Any arena fits any search; the pool is just a free list.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    arenas: std::sync::Mutex<Vec<SearchScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool; arenas are created on demand and kept warm thereafter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Inserts the configuration; returns `false` if it was already present.
-    #[inline]
-    fn insert(&mut self, sub: &SubProblem, taken: &[u64], vals: &[u32]) -> bool {
-        match self {
-            Memo::Small(set) => set.insert(u128::from(taken[0]) | (u128::from(vals[0]) << 64)),
-            Memo::Large(set) => set.insert(sub.pack_key(taken, vals)),
-        }
+    /// Number of idle arenas currently parked in the pool.
+    #[must_use]
+    pub fn idle_arenas(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<SearchScratch>> {
+        // A poisoned pool only means a search panicked mid-check; the buffers are
+        // reset on every acquire, so the arenas themselves are still fine.
+        self.arenas.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn acquire(&self) -> SearchScratch {
+        self.lock().pop().unwrap_or_default()
+    }
+
+    fn release(&self, scratch: SearchScratch) {
+        self.lock().push(scratch);
     }
 }
 
@@ -335,20 +363,47 @@ struct SearchStats {
 
 /// Depth-first search for a single witness over `sub`, memoized on packed
 /// `(taken, state)` keys. `budget` is shared across sub-searches so the global
-/// state-limit semantics match the original joint checker.
+/// state-limit semantics match the original joint checker. All working buffers live
+/// in `scratch`, reset on entry — reuse across searches is invisible to results.
 ///
-/// The apply/undo frame bookkeeping here is mirrored in [`enumerate_orders`] (which
-/// differs only in success handling and the absence of memoization); a fix to either
-/// driver almost certainly belongs in both.
-fn search_witness(sub: &SubProblem, budget: &mut u64, stats: &mut SearchStats) -> Option<Vec<u32>> {
+/// The apply/undo frame bookkeeping here is mirrored in [`OrderWalk`] (which differs
+/// only in success handling and the absence of memoization); a fix to either driver
+/// almost certainly belongs in both.
+fn search_witness(
+    sub: &SubProblem,
+    budget: &mut u64,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> Option<Vec<u32>> {
     let n = sub.ops.len();
     let words = words_for(n);
-    let mut taken = vec![0u64; words];
-    let mut vals = vec![sub.init_id; sub.slots];
+    let SearchScratch {
+        taken,
+        vals,
+        order,
+        stack,
+        memo_small,
+        memo_large,
+    } = scratch;
+    taken.clear();
+    taken.resize(words, 0);
+    vals.clear();
+    vals.resize(sub.slots, sub.init_id);
     let mut taken_completed = 0usize;
-    let mut order: Vec<u32> = Vec::with_capacity(n);
-    let mut memo = Memo::for_subproblem(sub);
-    let mut stack: Vec<Frame> = Vec::with_capacity(n + 1);
+    order.clear();
+    let small_keys = sub.small_keys();
+    // Seed the memo table with room for a burst of nodes (sequential-ish histories
+    // then never rehash); a warm arena already at or above this capacity makes the
+    // reserve a no-op.
+    let memo_cap = (n * 4).clamp(16, 1024);
+    if small_keys {
+        memo_small.clear();
+        memo_small.reserve(memo_cap);
+    } else {
+        memo_large.clear();
+        memo_large.reserve(memo_cap);
+    }
+    stack.clear();
     stack.push(Frame {
         creator: NO_OP,
         restore: 0,
@@ -366,9 +421,16 @@ fn search_witness(sub: &SubProblem, budget: &mut u64, stats: &mut SearchStats) -
             }
             *budget -= 1;
             if taken_completed == sub.completed {
-                return Some(order);
+                // Clone rather than take: the scratch keeps its warm buffer for the
+                // next search, and one witness allocation per sub-search is noise.
+                return Some(order.clone());
             }
-            if !memo.insert(sub, &taken, &vals) {
+            let fresh = if small_keys {
+                memo_small.insert(u128::from(taken[0]) | (u128::from(vals[0]) << 64))
+            } else {
+                memo_large.insert(sub.pack_key(taken, vals))
+            };
+            if !fresh {
                 stats.states_memoized += 1;
                 frame.scan = n as u32; // force an immediate pop
             }
@@ -376,7 +438,7 @@ fn search_witness(sub: &SubProblem, budget: &mut u64, stats: &mut SearchStats) -
         let mut advanced = false;
         let mut i = frame.scan as usize;
         while i < n {
-            if sub.is_candidate(i, &taken, &vals) {
+            if sub.is_candidate(i, taken, vals) {
                 frame.scan = (i + 1) as u32;
                 let op = sub.ops[i];
                 let restore = vals[op.slot as usize];
@@ -419,93 +481,137 @@ fn search_witness(sub: &SubProblem, budget: &mut u64, stats: &mut SearchStats) -
     None
 }
 
-/// Depth-first enumeration of **every** linearization order of `sub`, recording an
-/// order at each node where all completed ops are linearized — the same node set the
-/// original recursive enumerator visited. Stops successfully once `max_results` orders
-/// are collected, returning the orders plus the number of nodes visited; aborts with
-/// the node count if `work_limit` nodes are exceeded.
+/// One step outcome of a resumable enumeration walk.
+#[derive(Debug)]
+enum WalkStep {
+    /// The next linearization order, as indices local to the walked subproblem
+    /// ([`OrderWalk`]) or global op indices ([`ProductWalk`]).
+    Order(Vec<u32>),
+    /// The walk's node count exceeded the cap it was given; the walk is poisoned.
+    CapExceeded,
+    /// Every order has been emitted.
+    Done,
+}
+
+/// Resumable depth-first enumeration of **every** linearization order of one
+/// subproblem, recording an order at each node where all completed ops are linearized
+/// — the same node set (and the same pre-order emission sequence) as the original
+/// recursive enumerator. Each [`OrderWalk::next_order`] call runs the DFS exactly
+/// until the next order is found, so a caller that stops early pays only for the
+/// prefix of the walk it consumed — this is the engine of the lazy
+/// [`Linearizations`] iterator.
 ///
 /// The apply/undo frame bookkeeping mirrors [`search_witness`]; keep the two in sync.
-fn enumerate_orders(
-    sub: &SubProblem,
-    max_results: usize,
-    work_limit: u64,
-) -> Result<(Vec<Vec<u32>>, u64), u64> {
-    let n = sub.ops.len();
-    let words = words_for(n);
-    let mut taken = vec![0u64; words];
-    let mut vals = vec![sub.init_id; sub.slots];
-    let mut taken_completed = 0usize;
-    let mut order: Vec<u32> = Vec::with_capacity(n);
-    let mut results: Vec<Vec<u32>> = Vec::new();
-    let mut nodes: u64 = 0;
-    let mut stack: Vec<Frame> = vec![Frame {
-        creator: NO_OP,
-        restore: 0,
-        scan: 0,
-    }];
-    let mut entering = true;
+#[derive(Debug)]
+struct OrderWalk {
+    taken: Vec<u64>,
+    vals: Vec<u32>,
+    taken_completed: usize,
+    order: Vec<u32>,
+    stack: Vec<Frame>,
+    entering: bool,
+    /// Nodes visited so far (monotone across `next_order` calls).
+    nodes: u64,
+}
 
-    while let Some(frame) = stack.last_mut() {
-        if entering {
-            entering = false;
-            nodes += 1;
-            if nodes > work_limit {
-                return Err(nodes);
-            }
-            if results.len() >= max_results {
-                return Ok((results, nodes));
-            }
-            if taken_completed == sub.completed {
-                results.push(order.clone());
-                // Unlike the witness search, enumeration keeps exploring: orders that
-                // additionally linearize pending writes are distinct and also valid.
-            }
-        }
-        let mut advanced = false;
-        let mut i = frame.scan as usize;
-        while i < n {
-            if sub.is_candidate(i, &taken, &vals) {
-                frame.scan = (i + 1) as u32;
-                let op = sub.ops[i];
-                let restore = vals[op.slot as usize];
-                taken[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-                if op.completed {
-                    taken_completed += 1;
-                }
-                if op.is_write {
-                    vals[op.slot as usize] = op.value;
-                }
-                order.push(i as u32);
-                stack.push(Frame {
-                    creator: i as u32,
-                    restore,
-                    scan: 0,
-                });
-                entering = true;
-                advanced = true;
-                break;
-            }
-            i += 1;
-        }
-        if !advanced {
-            let done = *stack.last().unwrap();
-            stack.pop();
-            if done.creator != NO_OP {
-                let c = done.creator as usize;
-                let op = sub.ops[c];
-                taken[c / WORD_BITS] &= !(1u64 << (c % WORD_BITS));
-                if op.completed {
-                    taken_completed -= 1;
-                }
-                if op.is_write {
-                    vals[op.slot as usize] = done.restore;
-                }
-                order.pop();
-            }
+impl OrderWalk {
+    fn new(sub: &SubProblem) -> Self {
+        let n = sub.ops.len();
+        OrderWalk {
+            taken: vec![0u64; words_for(n)],
+            vals: vec![sub.init_id; sub.slots],
+            taken_completed: 0,
+            order: Vec::with_capacity(n),
+            stack: vec![Frame {
+                creator: NO_OP,
+                restore: 0,
+                scan: 0,
+            }],
+            entering: true,
+            nodes: 0,
         }
     }
-    Ok((results, nodes))
+
+    /// Resumes the DFS until the next linearization order is recorded. Visiting more
+    /// than `node_cap` nodes in total aborts with [`WalkStep::CapExceeded`].
+    fn next_order(&mut self, sub: &SubProblem, node_cap: u64) -> WalkStep {
+        let n = sub.ops.len();
+        while let Some(frame) = self.stack.last_mut() {
+            if self.entering {
+                self.entering = false;
+                self.nodes += 1;
+                if self.nodes > node_cap {
+                    return WalkStep::CapExceeded;
+                }
+                if self.taken_completed == sub.completed {
+                    // Emit and resume from this frame's candidate scan on the next
+                    // call: enumeration keeps exploring past a recorded order (orders
+                    // that additionally linearize pending writes are distinct and
+                    // also valid).
+                    return WalkStep::Order(self.order.clone());
+                }
+            }
+            let mut advanced = false;
+            let mut i = frame.scan as usize;
+            while i < n {
+                if sub.is_candidate(i, &self.taken, &self.vals) {
+                    frame.scan = (i + 1) as u32;
+                    let op = sub.ops[i];
+                    let restore = self.vals[op.slot as usize];
+                    self.taken[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+                    if op.completed {
+                        self.taken_completed += 1;
+                    }
+                    if op.is_write {
+                        self.vals[op.slot as usize] = op.value;
+                    }
+                    self.order.push(i as u32);
+                    self.stack.push(Frame {
+                        creator: i as u32,
+                        restore,
+                        scan: 0,
+                    });
+                    self.entering = true;
+                    advanced = true;
+                    break;
+                }
+                i += 1;
+            }
+            if !advanced {
+                let done = *self.stack.last().unwrap();
+                self.stack.pop();
+                if done.creator != NO_OP {
+                    let c = done.creator as usize;
+                    let op = sub.ops[c];
+                    self.taken[c / WORD_BITS] &= !(1u64 << (c % WORD_BITS));
+                    if op.completed {
+                        self.taken_completed -= 1;
+                    }
+                    if op.is_write {
+                        self.vals[op.slot as usize] = done.restore;
+                    }
+                    self.order.pop();
+                }
+            }
+        }
+        WalkStep::Done
+    }
+}
+
+/// Eagerly drains an [`OrderWalk`]: every linearization order of `sub`, plus the
+/// number of nodes visited, or `Err(nodes)` if `work_limit` nodes are exceeded. This
+/// is the per-register discovery stage of multi-register enumeration (which needs the
+/// complete per-register order sets to build tries).
+fn enumerate_all_orders(sub: &SubProblem, work_limit: u64) -> Result<(Vec<Vec<u32>>, u64), u64> {
+    let mut walk = OrderWalk::new(sub);
+    let mut results = Vec::new();
+    loop {
+        match walk.next_order(sub, work_limit) {
+            WalkStep::Order(order) => results.push(order),
+            WalkStep::CapExceeded => return Err(walk.nodes),
+            WalkStep::Done => return Ok((results, walk.nodes)),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +623,7 @@ fn enumerate_orders(
 /// guaranteed by inserting the orders in the DFS pre-order [`enumerate_orders`] emits
 /// them in — and `accepting[node]` marks paths that are themselves complete
 /// linearizations of the register (all its completed ops taken).
+#[derive(Debug)]
 struct OrderTrie {
     children: Vec<Vec<(u32, u32)>>,
     accepting: Vec<bool>,
@@ -566,117 +673,131 @@ struct ProductFrame {
     scan: u32,
 }
 
-/// Lazily enumerates every interleaving of the per-register linearizations in `tries`
-/// that respects the global real-time relation of `joint` — which is exactly the set
-/// of joint linearization orders — in exactly the order the joint DFS emits them
-/// (candidates scanned in ascending global op index, results recorded pre-order).
+/// Resumable DFS over the product of the per-register tries: every interleaving of
+/// the per-register linearizations that respects the global real-time relation of the
+/// joint subproblem — which is exactly the set of joint linearization orders — in
+/// exactly the order the joint DFS emits them (candidates scanned in ascending global
+/// op index, results recorded pre-order).
 ///
-/// "Lazy" in the sense that the product is never materialized: the DFS stops as soon
-/// as `max_results` orders exist, and only ever walks prefixes of **valid**
-/// per-register linearizations, skipping the state-inconsistent dead ends the joint
-/// search would visit. Returns the orders (as global op indices) plus nodes visited,
-/// or the node count if `work_limit` is exceeded.
-fn enumerate_interleavings(
-    joint: &SubProblem,
-    tries: &[OrderTrie],
-    max_results: usize,
-    work_limit: u64,
-) -> Result<(Vec<Vec<u32>>, u64), u64> {
-    let registers = tries.len();
-    let mut taken = vec![0u64; joint.words];
-    let mut node_at: Vec<u32> = vec![0; registers];
-    let mut accepting = tries.iter().filter(|t| t.accepting[0]).count();
-    let mut order: Vec<u32> = Vec::new();
-    let mut results: Vec<Vec<u32>> = Vec::new();
-    let mut nodes: u64 = 0;
-    let mut stack = vec![ProductFrame {
-        reg: u32::MAX,
-        prev_node: 0,
-        op: NO_OP,
-        scan: 0,
-    }];
-    let mut entering = true;
+/// "Lazy" in the sense that the product is never materialized: each
+/// [`ProductWalk::next_order`] call runs exactly until the next order, and the walk
+/// only ever visits prefixes of **valid** per-register linearizations, skipping the
+/// state-inconsistent dead ends the joint search would wade through.
+#[derive(Debug)]
+struct ProductWalk {
+    taken: Vec<u64>,
+    node_at: Vec<u32>,
+    accepting: usize,
+    order: Vec<u32>,
+    stack: Vec<ProductFrame>,
+    entering: bool,
+    /// Nodes visited so far (monotone across `next_order` calls).
+    nodes: u64,
+}
 
-    while let Some(frame) = stack.last_mut() {
-        if entering {
-            entering = false;
-            nodes += 1;
-            if nodes > work_limit {
-                return Err(nodes);
-            }
-            if results.len() >= max_results {
-                return Ok((results, nodes));
-            }
-            if accepting == registers {
-                results.push(order.clone());
-            }
-        }
-        // The next op is the minimal global index >= frame.scan over every register's
-        // currently reachable trie children whose real-time predecessors are all
-        // taken — the same candidate the joint DFS scan would find next.
-        let mut best: Option<(u32, u32, u32)> = None;
-        for (r, trie) in tries.iter().enumerate() {
-            for &(global, child) in &trie.children[node_at[r] as usize] {
-                if global < frame.scan {
-                    continue;
-                }
-                if best.is_some_and(|(bg, _, _)| global >= bg) {
-                    break; // children ascend; nothing better in this register
-                }
-                if joint.preds_satisfied(global as usize, &taken) {
-                    best = Some((global, r as u32, child));
-                    break; // this register's minimal candidate
-                }
-            }
-        }
-        match best {
-            Some((global, reg, child)) => {
-                frame.scan = global + 1;
-                let g = global as usize;
-                taken[g / WORD_BITS] |= 1u64 << (g % WORD_BITS);
-                let prev_node = node_at[reg as usize];
-                node_at[reg as usize] = child;
-                let trie = &tries[reg as usize];
-                match (
-                    trie.accepting[prev_node as usize],
-                    trie.accepting[child as usize],
-                ) {
-                    (false, true) => accepting += 1,
-                    (true, false) => accepting -= 1,
-                    _ => {}
-                }
-                order.push(global);
-                stack.push(ProductFrame {
-                    reg,
-                    prev_node,
-                    op: global,
-                    scan: 0,
-                });
-                entering = true;
-            }
-            None => {
-                let done = stack.pop().expect("non-empty stack");
-                if done.op != NO_OP {
-                    let g = done.op as usize;
-                    taken[g / WORD_BITS] &= !(1u64 << (g % WORD_BITS));
-                    let reg = done.reg as usize;
-                    let cur = node_at[reg];
-                    node_at[reg] = done.prev_node;
-                    let trie = &tries[reg];
-                    match (
-                        trie.accepting[cur as usize],
-                        trie.accepting[done.prev_node as usize],
-                    ) {
-                        (true, false) => accepting -= 1,
-                        (false, true) => accepting += 1,
-                        _ => {}
-                    }
-                    order.pop();
-                }
-            }
+impl ProductWalk {
+    fn new(joint: &SubProblem, tries: &[OrderTrie]) -> Self {
+        ProductWalk {
+            taken: vec![0u64; joint.words],
+            node_at: vec![0; tries.len()],
+            accepting: tries.iter().filter(|t| t.accepting[0]).count(),
+            order: Vec::new(),
+            stack: vec![ProductFrame {
+                reg: u32::MAX,
+                prev_node: 0,
+                op: NO_OP,
+                scan: 0,
+            }],
+            entering: true,
+            nodes: 0,
         }
     }
-    Ok((results, nodes))
+
+    /// Resumes the product DFS until the next interleaving is recorded (returned as
+    /// global op indices). Visiting more than `node_cap` product nodes in total
+    /// aborts with [`WalkStep::CapExceeded`].
+    fn next_order(&mut self, joint: &SubProblem, tries: &[OrderTrie], node_cap: u64) -> WalkStep {
+        let registers = tries.len();
+        while let Some(frame) = self.stack.last_mut() {
+            if self.entering {
+                self.entering = false;
+                self.nodes += 1;
+                if self.nodes > node_cap {
+                    return WalkStep::CapExceeded;
+                }
+                if self.accepting == registers {
+                    // Emit; the next call resumes from this frame's candidate scan.
+                    return WalkStep::Order(self.order.clone());
+                }
+            }
+            // The next op is the minimal global index >= frame.scan over every
+            // register's currently reachable trie children whose real-time
+            // predecessors are all taken — the same candidate the joint DFS scan
+            // would find next.
+            let mut best: Option<(u32, u32, u32)> = None;
+            for (r, trie) in tries.iter().enumerate() {
+                for &(global, child) in &trie.children[self.node_at[r] as usize] {
+                    if global < frame.scan {
+                        continue;
+                    }
+                    if best.is_some_and(|(bg, _, _)| global >= bg) {
+                        break; // children ascend; nothing better in this register
+                    }
+                    if joint.preds_satisfied(global as usize, &self.taken) {
+                        best = Some((global, r as u32, child));
+                        break; // this register's minimal candidate
+                    }
+                }
+            }
+            match best {
+                Some((global, reg, child)) => {
+                    frame.scan = global + 1;
+                    let g = global as usize;
+                    self.taken[g / WORD_BITS] |= 1u64 << (g % WORD_BITS);
+                    let prev_node = self.node_at[reg as usize];
+                    self.node_at[reg as usize] = child;
+                    let trie = &tries[reg as usize];
+                    match (
+                        trie.accepting[prev_node as usize],
+                        trie.accepting[child as usize],
+                    ) {
+                        (false, true) => self.accepting += 1,
+                        (true, false) => self.accepting -= 1,
+                        _ => {}
+                    }
+                    self.order.push(global);
+                    self.stack.push(ProductFrame {
+                        reg,
+                        prev_node,
+                        op: global,
+                        scan: 0,
+                    });
+                    self.entering = true;
+                }
+                None => {
+                    let done = self.stack.pop().expect("non-empty stack");
+                    if done.op != NO_OP {
+                        let g = done.op as usize;
+                        self.taken[g / WORD_BITS] &= !(1u64 << (g % WORD_BITS));
+                        let reg = done.reg as usize;
+                        let cur = self.node_at[reg];
+                        self.node_at[reg] = done.prev_node;
+                        let trie = &tries[reg];
+                        match (
+                            trie.accepting[cur as usize],
+                            trie.accepting[done.prev_node as usize],
+                        ) {
+                            (true, false) => self.accepting -= 1,
+                            (false, true) => self.accepting += 1,
+                            _ => {}
+                        }
+                        self.order.pop();
+                    }
+                }
+            }
+        }
+        WalkStep::Done
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -836,15 +957,26 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     /// the budget replay guarantees this).
     #[must_use]
     pub fn check(&self, state_limit: u64) -> CheckOutcome {
+        self.check_with(state_limit, &ScratchPool::new())
+    }
+
+    /// [`Engine::check`] with caller-provided scratch arenas: every sub-search pops an
+    /// arena from `scratch` (fork-join workers each take their own) and parks it back,
+    /// so a long-lived pool amortizes search allocations across checks. Results are
+    /// bit-identical to [`Engine::check`] — scratch is reset on every use.
+    #[must_use]
+    pub fn check_with(&self, state_limit: u64, scratch: &ScratchPool) -> CheckOutcome {
         let per_register = self.per_register();
         if per_register.len() <= 1 || rayon::current_num_threads() <= 1 {
-            return self.check_sequential(state_limit);
+            return self.check_sequential_with(state_limit, scratch);
         }
         // Fork-join: every sub-search runs with a private budget of the full limit.
         let results: Vec<(Option<Vec<u32>>, SearchStats)> = rayon::par_map(per_register, |sub| {
             let mut budget = state_limit;
             let mut stats = SearchStats::default();
-            let order = search_witness(sub, &mut budget, &mut stats);
+            let mut arena = scratch.acquire();
+            let order = search_witness(sub, &mut budget, &mut stats, &mut arena);
+            scratch.release(arena);
             (order, stats)
         });
         // Replay the sequential shared-budget accounting in register order. A
@@ -859,7 +991,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
         let mut sub_orders: Vec<Vec<u32>> = Vec::with_capacity(results.len());
         for (order, sub_stats) in results {
             if sub_stats.limit_hit || consumed + sub_stats.states_explored > state_limit {
-                return self.check_sequential(state_limit);
+                return self.check_sequential_with(state_limit, scratch);
             }
             consumed += sub_stats.states_explored;
             stats.states_explored += sub_stats.states_explored;
@@ -879,7 +1011,10 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
             }
         }
         let mut budget = state_limit - consumed;
-        self.finish_check(&sub_orders, &mut budget, &mut stats)
+        let mut arena = scratch.acquire();
+        let outcome = self.finish_check(&sub_orders, &mut budget, &mut stats, &mut arena);
+        scratch.release(arena);
+        outcome
     }
 
     /// [`Engine::check`] pinned to the calling thread: per-register sub-searches run
@@ -887,35 +1022,47 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     /// bit-identical to this one; the determinism suites diff the two.
     #[must_use]
     pub fn check_sequential(&self, state_limit: u64) -> CheckOutcome {
+        self.check_sequential_with(state_limit, &ScratchPool::new())
+    }
+
+    /// [`Engine::check_sequential`] with caller-provided scratch arenas (one arena is
+    /// reused across all of the history's per-register sub-searches).
+    #[must_use]
+    pub fn check_sequential_with(&self, state_limit: u64, scratch: &ScratchPool) -> CheckOutcome {
         let mut budget = state_limit;
         let mut stats = SearchStats::default();
         let per_register = self.per_register();
         let mut sub_orders: Vec<Vec<u32>> = Vec::with_capacity(per_register.len());
+        let mut arena = scratch.acquire();
         for sub in per_register {
-            match search_witness(sub, &mut budget, &mut stats) {
+            match search_witness(sub, &mut budget, &mut stats, &mut arena) {
                 Some(order) => sub_orders.push(order),
                 None => {
+                    scratch.release(arena);
                     return CheckOutcome {
                         order: None,
                         states_explored: stats.states_explored,
                         states_memoized: stats.states_memoized,
                         limit_hit: stats.limit_hit,
-                    }
+                    };
                 }
             }
         }
-        self.finish_check(&sub_orders, &mut budget, &mut stats)
+        let outcome = self.finish_check(&sub_orders, &mut budget, &mut stats, &mut arena);
+        scratch.release(arena);
+        outcome
     }
 
-    /// Shared tail of [`Engine::check`] and [`Engine::check_sequential`] once every
-    /// register has produced a witness: maps the local witness orders to global op
-    /// indices, merges them, and falls back to the joint search on the remaining
-    /// budget if the merge ever fails.
+    /// Shared tail of [`Engine::check_with`] and [`Engine::check_sequential_with`]
+    /// once every register has produced a witness: maps the local witness orders to
+    /// global op indices, merges them, and falls back to the joint search on the
+    /// remaining budget if the merge ever fails.
     fn finish_check(
         &self,
         sub_orders: &[Vec<u32>],
         budget: &mut u64,
         stats: &mut SearchStats,
+        arena: &mut SearchScratch,
     ) -> CheckOutcome {
         let per_register = self.per_register();
         let per_register_orders: Vec<Vec<usize>> = per_register
@@ -943,7 +1090,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                 // budget rather than returning a wrong verdict. No debug_assert here:
                 // the safety net must also work in debug builds.
                 let joint = self.joint_subproblem();
-                search_witness(joint, budget, stats)
+                search_witness(joint, budget, stats, arena)
                     .map(|order| order.iter().map(|&i| i as usize).collect())
             }
         };
@@ -1031,85 +1178,263 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     ///
     /// Orders index into [`Engine::ops`]. The sequence of orders produced — values
     /// and emission order both — matches the original recursive joint enumerator
-    /// exactly. Single-register histories run the joint DFS directly; multi-register
-    /// histories enumerate each register separately and walk the lazy interleaving
-    /// product (see [`enumerate_interleavings`]), which prunes the joint search's
-    /// state-inconsistent dead ends. The work cap counts per-register search nodes
-    /// plus product nodes, so adversarial inputs still fail loudly.
+    /// exactly. This is the eager form of [`Linearizations`]: it drains the same
+    /// streaming core until `max_results` orders exist, the space is exhausted, or
+    /// the work cap trips.
     pub fn enumerate(
         &self,
         max_results: usize,
         work_limit: u64,
     ) -> Result<Vec<Vec<usize>>, EnumerationLimitExceeded> {
-        if self.registers.len() <= 1 {
-            return self.enumerate_joint(max_results, work_limit, 0);
+        let mut core = EnumCore::new(work_limit);
+        let mut orders = Vec::new();
+        while orders.len() < max_results {
+            match core.next_order(self) {
+                Some(Ok(order)) => orders.push(order),
+                Some(Err(err)) => return Err(err),
+                None => break,
+            }
         }
-        // Per-register enumeration first: each register's full set of linearizations,
-        // folded into a prefix trie. The shared work budget drains as we go. This
-        // discovery stage cannot honor `max_results` (the product needs every
-        // per-register order to know which interleavings exist), so a register whose
-        // own linearization space exceeds the budget falls back to the joint DFS —
-        // which *is* lazily bounded by `max_results` and therefore still succeeds on
-        // highly concurrent registers with small result caps, exactly as the
-        // pre-product enumerator did. Total work stays within 2x the cap.
-        let per_register = self.per_register();
+        Ok(orders)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming enumeration
+// ---------------------------------------------------------------------------
+
+/// Engine-independent state of a streaming enumeration: which stage the walk is in
+/// plus its resumable DFS state. Kept separate from [`Linearizations`] (which owns the
+/// engine) so the eager [`Engine::enumerate`] can drive the identical code path by
+/// reference.
+#[derive(Debug)]
+enum EnumStage {
+    /// Nothing pulled yet; the first pull picks the stage (and, for multi-register
+    /// histories, runs per-register discovery).
+    Unstarted,
+    /// The joint DFS: single-register histories, and the fallback when per-register
+    /// discovery blows the work cap. `node_cap` bounds the walk's own nodes;
+    /// `prior_nodes` counts discovery nodes already spent before the fallback, so a
+    /// work-cap error reports the true total.
+    Joint {
+        walk: OrderWalk,
+        node_cap: u64,
+        prior_nodes: u64,
+    },
+    /// The lazy interleaving product over per-register tries (multi-register).
+    Product {
+        tries: Vec<OrderTrie>,
+        walk: ProductWalk,
+        node_cap: u64,
+        prior_nodes: u64,
+    },
+    /// Exhausted, or poisoned by a work-cap error; carries the final node count.
+    Finished { nodes: u64 },
+}
+
+#[derive(Debug)]
+struct EnumCore {
+    work_limit: u64,
+    stage: EnumStage,
+}
+
+impl EnumCore {
+    fn new(work_limit: u64) -> Self {
+        EnumCore {
+            work_limit,
+            stage: EnumStage::Unstarted,
+        }
+    }
+
+    /// Total enumeration nodes visited so far (discovery plus walk); a finished or
+    /// poisoned enumeration keeps reporting its final count.
+    fn nodes_visited(&self) -> u64 {
+        match &self.stage {
+            EnumStage::Unstarted => 0,
+            EnumStage::Finished { nodes } => *nodes,
+            EnumStage::Joint {
+                walk, prior_nodes, ..
+            } => prior_nodes + walk.nodes,
+            EnumStage::Product {
+                walk, prior_nodes, ..
+            } => prior_nodes + walk.nodes,
+        }
+    }
+
+    /// Picks the stage on first pull. Multi-register histories run per-register
+    /// discovery here: each register's full set of linearizations, folded into a
+    /// prefix trie, with the shared work budget draining as we go. Discovery cannot
+    /// stop early (the product needs every per-register order to know which
+    /// interleavings exist), so a register whose own linearization space exceeds the
+    /// budget falls back to the joint DFS — which *is* lazy and therefore still
+    /// succeeds when the consumer wants only a few orders, exactly as the pre-product
+    /// enumerator did. Total work stays within 2x the cap.
+    fn start<V: RegisterValue>(&mut self, engine: &Engine<'_, V>) {
+        if engine.registers.len() <= 1 {
+            self.stage = EnumStage::Joint {
+                walk: OrderWalk::new(engine.joint_subproblem()),
+                node_cap: self.work_limit,
+                prior_nodes: 0,
+            };
+            return;
+        }
+        let per_register = engine.per_register();
         let mut nodes_total = 0u64;
         let mut tries = Vec::with_capacity(per_register.len());
         for sub in per_register {
-            match enumerate_orders(sub, usize::MAX, work_limit.saturating_sub(nodes_total)) {
+            match enumerate_all_orders(sub, self.work_limit.saturating_sub(nodes_total)) {
                 Ok((orders, nodes)) => {
                     nodes_total += nodes;
                     tries.push(OrderTrie::build(sub, &orders));
                 }
                 Err(nodes) => {
-                    return self.enumerate_joint(max_results, work_limit, nodes_total + nodes)
+                    self.stage = EnumStage::Joint {
+                        walk: OrderWalk::new(engine.joint_subproblem()),
+                        node_cap: self.work_limit,
+                        prior_nodes: nodes_total + nodes,
+                    };
+                    return;
                 }
             }
         }
-        let joint = self.joint_subproblem();
-        match enumerate_interleavings(
-            joint,
-            &tries,
-            max_results,
-            work_limit.saturating_sub(nodes_total),
-        ) {
-            Ok((orders, _)) => Ok(orders
-                .into_iter()
-                .map(|order| order.into_iter().map(|g| g as usize).collect())
-                .collect()),
-            Err(nodes) => Err(EnumerationLimitExceeded {
-                nodes_visited: nodes_total + nodes,
-            }),
-        }
+        self.stage = EnumStage::Product {
+            walk: ProductWalk::new(engine.joint_subproblem(), &tries),
+            tries,
+            node_cap: self.work_limit.saturating_sub(nodes_total),
+            prior_nodes: nodes_total,
+        };
     }
 
-    /// The joint enumeration DFS (the definitional emission order): the direct path
-    /// for single-register histories and the fallback when per-register discovery
-    /// exceeds the work budget. `prior_nodes` counts search nodes already spent, so a
-    /// work-cap error reports the true total.
-    fn enumerate_joint(
-        &self,
-        max_results: usize,
-        work_limit: u64,
-        prior_nodes: u64,
-    ) -> Result<Vec<Vec<usize>>, EnumerationLimitExceeded> {
-        let joint = self.joint_subproblem();
-        match enumerate_orders(joint, max_results, work_limit) {
-            Ok((orders, _)) => Ok(orders
-                .into_iter()
-                .map(|order| {
-                    order
-                        .iter()
-                        .map(|&i| joint.ops[i as usize].global as usize)
-                        .collect()
-                })
-                .collect()),
-            Err(nodes_visited) => Err(EnumerationLimitExceeded {
-                nodes_visited: prior_nodes + nodes_visited,
-            }),
+    /// Pulls the next linearization order (as indices into [`Engine::ops`]), running
+    /// the underlying DFS exactly until it is found. Yields
+    /// `Err(EnumerationLimitExceeded)` once — and then fuses — if the cumulative node
+    /// count exceeds the work cap.
+    fn next_order<V: RegisterValue>(
+        &mut self,
+        engine: &Engine<'_, V>,
+    ) -> Option<Result<Vec<usize>, EnumerationLimitExceeded>> {
+        if matches!(self.stage, EnumStage::Unstarted) {
+            self.start(engine);
+        }
+        let step = match &mut self.stage {
+            EnumStage::Unstarted => unreachable!("started above"),
+            EnumStage::Finished { .. } => return None,
+            EnumStage::Joint { walk, node_cap, .. } => {
+                let joint = engine.joint_subproblem();
+                match walk.next_order(joint, *node_cap) {
+                    WalkStep::Order(order) => WalkStep::Order(
+                        order
+                            .iter()
+                            .map(|&i| joint.ops[i as usize].global)
+                            .collect(),
+                    ),
+                    other => other,
+                }
+            }
+            EnumStage::Product {
+                tries,
+                walk,
+                node_cap,
+                ..
+            } => walk.next_order(engine.joint_subproblem(), tries, *node_cap),
+        };
+        match step {
+            WalkStep::Order(order) => Some(Ok(order.into_iter().map(|g| g as usize).collect())),
+            WalkStep::CapExceeded => {
+                let nodes_visited = self.nodes_visited();
+                self.stage = EnumStage::Finished {
+                    nodes: nodes_visited,
+                };
+                Some(Err(EnumerationLimitExceeded { nodes_visited }))
+            }
+            WalkStep::Done => {
+                self.stage = EnumStage::Finished {
+                    nodes: self.nodes_visited(),
+                };
+                None
+            }
         }
     }
 }
+
+/// A lazy, work-capped iterator over **every** linearization of one history, in
+/// exactly the emission order of the eager enumerator (and of the original recursive
+/// joint DFS): create it with [`crate::Checker::linearizations`].
+///
+/// Each [`Iterator::next`] call resumes the underlying search exactly until the next
+/// order is found, so `take(1)` (or dropping the iterator mid-way) pays only for the
+/// prefix of the search it consumed — this is what lets existential checks like
+/// [`crate::ExtensionFamily`] short-circuit instead of materializing a bounded batch
+/// of orders per history. Items are `Ok(order)` (operation ids, in linearization
+/// order) until either the space is exhausted (`None`) or the cumulative enumeration
+/// work exceeds the iterator's cap, which yields one
+/// `Err(`[`EnumerationLimitExceeded`]`)` and then fuses.
+#[derive(Debug)]
+pub struct Linearizations<'a, V> {
+    history: &'a History<V>,
+    engine: Engine<'a, V>,
+    core: EnumCore,
+}
+
+impl<'a, V: RegisterValue> Linearizations<'a, V> {
+    /// Prepares a streaming enumeration of `history` (initial value `init`, at most
+    /// `work_limit` search nodes). No search work happens until the first pull.
+    pub(crate) fn new(history: &'a History<V>, init: &'a V, work_limit: u64) -> Self {
+        Linearizations {
+            history,
+            engine: Engine::new(history, init),
+            core: EnumCore::new(work_limit),
+        }
+    }
+
+    /// Enumeration nodes visited so far — per-register discovery plus the product (or
+    /// joint) walk. This is the work counter the laziness tests pin: a consumer that
+    /// stops early must observe strictly fewer nodes than a full drain.
+    #[must_use]
+    pub fn nodes_visited(&self) -> u64 {
+        self.core.nodes_visited()
+    }
+
+    /// Materializes an order previously yielded by this iterator as a well-formed
+    /// sequential history: operations appear in linearization order, with linearized
+    /// pending operations given a synthetic response just past the history's horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` contains an id that does not occur in the history.
+    #[must_use]
+    pub fn materialize(&self, order: &[OpId]) -> SeqHistory<V> {
+        let completion_time = self.history.max_time().next();
+        let ops = order
+            .iter()
+            .map(|id| {
+                let mut op = self
+                    .history
+                    .get(*id)
+                    .expect("order ids come from this history")
+                    .clone();
+                if op.responded_at.is_none() {
+                    op.responded_at = Some(completion_time);
+                }
+                op
+            })
+            .collect();
+        SeqHistory::from_ops(ops)
+    }
+}
+
+impl<V: RegisterValue> Iterator for Linearizations<'_, V> {
+    type Item = Result<Vec<OpId>, EnumerationLimitExceeded>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.core.next_order(&self.engine)? {
+            Ok(order) => Some(Ok(order.iter().map(|&g| self.engine.ops()[g].id).collect())),
+            Err(err) => Some(Err(err)),
+        }
+    }
+}
+
+impl<V: RegisterValue> std::iter::FusedIterator for Linearizations<'_, V> {}
 
 #[cfg(test)]
 mod tests {

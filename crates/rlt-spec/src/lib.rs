@@ -8,10 +8,13 @@
 //!   precedence and prefix extraction (Definition 1 and the history model of Section 2).
 //! * The register sequential specification (Definition 2, property 3) in
 //!   [`sequential`].
-//! * A linearizability checker ([`linearizability::check_linearizable`]) that decides
-//!   whether a concurrent register history has a valid linearization (Definition 2),
-//!   backed by the high-throughput search core in [`engine`] (value interning,
-//!   precedence bitsets, iterative DFS, per-register composition).
+//! * The [`Checker`] session: a builder-configured linearizability checker (Definition
+//!   2) backed by the high-throughput search core in [`engine`] (value interning,
+//!   precedence bitsets, iterative DFS, per-register composition, fork-join
+//!   parallelism with bit-identical results at any thread width). A `Checker` is
+//!   reusable: it keeps search scratch warm across [`Checker::check`] calls and across
+//!   the histories of a [`Checker::check_many`] batch, and streams enumerations
+//!   lazily through the [`Linearizations`] iterator.
 //! * Prefix-property checkers for strong linearizability (Definition 3) and write
 //!   strong-linearizability (Definition 4) over linearization *strategies*
 //!   ([`strategy`]) and existential checks over explicit history families ([`strong`]),
@@ -33,13 +36,23 @@
 //! b.respond_read(r, 1i64);
 //! let history = b.build();
 //!
-//! let witness = check_linearizable(&history, &0i64);
-//! assert!(witness.is_some());
+//! // One session, reused across every check of the run.
+//! let checker = Checker::new(0i64);
+//! let verdict = checker.check(&history);
+//! assert!(verdict.is_linearizable());
+//!
+//! // Enumeration streams: this pulls exactly one order out of the search.
+//! let first = checker.linearizations(&history).next();
+//! assert!(matches!(first, Some(Ok(_))));
 //! ```
+//!
+//! The pre-`Checker` free functions (`check_linearizable` and friends) survive as
+//! deprecated shims in [`linearizability`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checker;
 pub mod engine;
 pub mod history;
 pub mod ids;
@@ -52,13 +65,19 @@ pub mod strong;
 pub mod swmr;
 pub mod value;
 
-pub use engine::{CheckOutcome, Engine, EnumerationLimitExceeded};
+pub use checker::{CheckError, CheckStats, Checker, CheckerBuilder, ThreadPolicy, Verdict};
+pub use engine::{
+    CheckOutcome, Engine, EnumerationLimitExceeded, Linearizations, ScratchPool, SearchScratch,
+};
 pub use history::{History, HistoryBuilder};
 pub use ids::{OpId, ProcessId, RegisterId, Time};
+#[allow(deprecated)]
 pub use linearizability::{
     check_linearizable, check_linearizable_batch, check_linearizable_report,
-    enumerate_linearizations, try_enumerate_linearizations, LinearizabilityReport,
-    DEFAULT_ENUMERATION_WORK_LIMIT, DEFAULT_STATE_LIMIT,
+    enumerate_linearizations, try_enumerate_linearizations,
+};
+pub use linearizability::{
+    LinearizabilityReport, DEFAULT_ENUMERATION_WORK_LIMIT, DEFAULT_STATE_LIMIT,
 };
 pub use op::{OpKind, Operation};
 pub use sequential::{is_legal_register_sequence, SeqHistory};
@@ -72,9 +91,10 @@ pub use value::Value;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
+    pub use crate::checker::{CheckError, CheckStats, Checker, ThreadPolicy, Verdict};
+    pub use crate::engine::{EnumerationLimitExceeded, Linearizations};
     pub use crate::history::{History, HistoryBuilder};
     pub use crate::ids::{OpId, ProcessId, RegisterId, Time};
-    pub use crate::linearizability::check_linearizable;
     pub use crate::op::{OpKind, Operation};
     pub use crate::sequential::{is_legal_register_sequence, SeqHistory};
     pub use crate::strategy::{

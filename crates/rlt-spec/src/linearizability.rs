@@ -1,28 +1,29 @@
-//! A linearizability checker for (multi-)register histories.
+//! Legacy free-function checking API, kept as thin deprecated shims.
 //!
-//! The checker performs a Wing–Gong style backtracking search specialized to the
-//! register sequential specification: it tries to build a linearization order
-//! incrementally, always picking a real-time-minimal remaining operation, simulating the
-//! register state, and memoizing visited configurations. Pending writes may be
-//! linearized or dropped; pending reads are dropped (they impose no constraint on any
-//! other operation because a pending operation never *precedes* another operation).
+//! The checking surface now lives on [`crate::Checker`]: one builder-configured
+//! session object with [`check`](crate::Checker::check) /
+//! [`check_many`](crate::Checker::check_many) /
+//! [`linearizations`](crate::Checker::linearizations) replacing the function soup that
+//! grew here (`check_linearizable`, `check_linearizable_report`,
+//! `check_linearizable_batch`, `enumerate_linearizations` and its `try_` variant, each
+//! with its own ad-hoc limit parameter). Every function below still works — each one
+//! builds a default [`Checker`] with the matching knob and delegates — but new code
+//! should hold a `Checker` and reuse it: the session keeps its search scratch warm
+//! across calls, which these per-call shims cannot.
 //!
-//! Since the engine rewrite, the search itself lives in [`crate::engine`]: values are
-//! interned to dense ids, real-time precedence is precomputed into per-op bitsets, the
-//! search is an explicit-stack DFS over packed `(taken, state)` memo keys, and — the
-//! big structural win — multi-register histories are checked **per register** and the
-//! per-register witnesses merged (registers are independent objects, so joint checking
-//! equals per-register checking). This module keeps the public API and its original
-//! semantics, delegating the heavy lifting.
+//! This module still owns the default budget constants ([`DEFAULT_STATE_LIMIT`],
+//! [`DEFAULT_ENUMERATION_WORK_LIMIT`]) and the [`LinearizabilityReport`] type the
+//! report shim returns.
 
-use crate::engine::Engine;
+use crate::checker::Checker;
 pub use crate::engine::EnumerationLimitExceeded;
 use crate::history::History;
-use crate::op::Operation;
 use crate::sequential::SeqHistory;
 use crate::value::RegisterValue;
 
-/// Statistics and outcome of a linearizability check.
+/// Statistics and outcome of a linearizability check, as returned by the deprecated
+/// [`check_linearizable_report`] shim. New code reads the same information from
+/// [`crate::Verdict`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinearizabilityReport<V> {
     /// A witness linearization if one exists.
@@ -44,144 +45,137 @@ impl<V> LinearizabilityReport<V> {
     }
 }
 
-/// Default cap on the number of search states explored by [`check_linearizable`].
+/// Default cap on the number of search states explored by a [`Checker`] check.
 pub const DEFAULT_STATE_LIMIT: u64 = 20_000_000;
 
-/// Default cap on search nodes visited by [`enumerate_linearizations`] before it
-/// declares the input adversarial and panics (see [`try_enumerate_linearizations`] for
-/// the non-panicking form).
+/// Default cap on search nodes visited by a [`Checker`] enumeration (eager or
+/// streaming) before it declares the input adversarial and fails with
+/// [`EnumerationLimitExceeded`].
 pub const DEFAULT_ENUMERATION_WORK_LIMIT: u64 = 20_000_000;
 
-/// Materializes an order of indices into `ops` as a [`SeqHistory`], giving linearized
-/// pending operations a matching response so the sequential history is well-formed.
-fn order_to_seq<V: RegisterValue>(
-    history: &History<V>,
-    ops: &[&Operation<V>],
-    order: &[usize],
-) -> SeqHistory<V> {
-    let completion_time = history.max_time().next();
-    let seq_ops = order
-        .iter()
-        .map(|&i| {
-            let mut op = ops[i].clone();
-            if op.responded_at.is_none() {
-                op.responded_at = Some(completion_time);
-            }
-            op
-        })
-        .collect();
-    SeqHistory::from_ops(seq_ops)
+fn verdict_to_report<V: RegisterValue>(
+    verdict: crate::checker::Verdict<V>,
+) -> LinearizabilityReport<V> {
+    let limit_hit = !verdict.is_conclusive();
+    let stats = verdict.stats();
+    LinearizabilityReport {
+        witness: verdict.into_witness(),
+        states_explored: stats.states_explored,
+        states_memoized: stats.states_memoized,
+        limit_hit,
+    }
 }
 
 /// Checks whether `history` is linearizable with respect to the register type with
 /// initial value `init`, returning a witness linearization if so.
-///
-/// Histories spanning several registers are decomposed: the register objects are
-/// independent, so the engine checks each register's subhistory separately and merges
-/// the witnesses — exponentially cheaper than the joint search, with the same verdict.
-///
-/// # Example
-///
-/// ```
-/// use rlt_spec::prelude::*;
-///
-/// let mut b = HistoryBuilder::new();
-/// let w = b.write(ProcessId(0), RegisterId(0), 1i64);
-/// let r = b.read(ProcessId(1), RegisterId(0), 0i64); // reads stale value after write completed
-/// let h = b.build();
-/// assert!(check_linearizable(&h, &0i64).is_none());
-/// let _ = (w, r);
-/// ```
+#[deprecated(since = "0.2.0", note = "build a `Checker` and call `check`")]
 #[must_use]
 pub fn check_linearizable<V: RegisterValue>(
     history: &History<V>,
     init: &V,
 ) -> Option<SeqHistory<V>> {
-    check_linearizable_report(history, init, DEFAULT_STATE_LIMIT).witness
+    Checker::new(init.clone())
+        .check_local(history)
+        .into_witness()
 }
 
-/// Like [`check_linearizable`] but returns search statistics and allows customizing the
-/// state-exploration cap.
+/// Like [`check_linearizable`] but returns search statistics and allows customizing
+/// the state-exploration cap.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Checker` with `state_budget` and call `check`"
+)]
 #[must_use]
 pub fn check_linearizable_report<V: RegisterValue>(
     history: &History<V>,
     init: &V,
     state_limit: u64,
 ) -> LinearizabilityReport<V> {
-    let engine = Engine::new(history, init);
-    let outcome = engine.check(state_limit);
-    LinearizabilityReport {
-        witness: outcome
-            .order
-            .map(|order| order_to_seq(history, engine.ops(), &order)),
-        states_explored: outcome.states_explored,
-        states_memoized: outcome.states_memoized,
-        limit_hit: outcome.limit_hit,
-    }
+    let checker = Checker::builder(init.clone())
+        .state_budget(state_limit)
+        .build();
+    verdict_to_report(checker.check_local(history))
 }
 
 /// Checks a whole slice of histories against the same initial value, fanning the
-/// checks across the current rayon pool (see [`Engine::check_many`]).
-///
-/// Reports come back in input order, and each one is bit-identical to what
-/// [`check_linearizable_report`] returns for that history — at any thread count,
-/// including 1 (where this degrades to a plain loop). This is the entry point the
-/// differential suites and adversary sweeps use to turn "thousands of seeded
-/// histories" from a latency problem into a throughput problem.
+/// checks across the current rayon pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Checker` with `state_budget` and call `check_many`"
+)]
 #[must_use]
 pub fn check_linearizable_batch<V: RegisterValue + Send + Sync>(
     histories: &[History<V>],
     init: &V,
     state_limit: u64,
 ) -> Vec<LinearizabilityReport<V>> {
-    rayon::par_map(histories, |history| {
-        check_linearizable_report(history, init, state_limit)
-    })
+    let checker = Checker::builder(init.clone())
+        .state_budget(state_limit)
+        .build();
+    checker
+        .check_many(histories)
+        .into_iter()
+        .map(verdict_to_report)
+        .collect()
 }
 
-/// Enumerates **all** linearizations of `history` (up to the given limit on how many to
-/// return). Used by the existential write-strong-linearizability checks of
-/// [`crate::strong`], which must quantify over every possible linearization of a prefix.
+/// Enumerates **all** linearizations of `history` (up to the given limit on how many
+/// to return).
 ///
 /// # Panics
 ///
 /// Panics if the search visits more than [`DEFAULT_ENUMERATION_WORK_LIMIT`] nodes —
-/// adversarially concurrent histories fail loudly instead of hanging. Use
-/// [`try_enumerate_linearizations`] to handle the cap as a value.
+/// adversarially concurrent histories fail loudly instead of hanging. New code should
+/// use the streaming [`Checker::linearizations`] iterator (which surfaces the cap as
+/// an item) or [`Checker::enumerate`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Checker` and call `linearizations` (streaming) or `enumerate`"
+)]
 #[must_use]
 pub fn enumerate_linearizations<V: RegisterValue>(
     history: &History<V>,
     init: &V,
     max_results: usize,
 ) -> Vec<SeqHistory<V>> {
-    try_enumerate_linearizations(history, init, max_results, DEFAULT_ENUMERATION_WORK_LIMIT)
-        .unwrap_or_else(|e| panic!("{e}; pass an explicit cap via try_enumerate_linearizations"))
+    Checker::new(init.clone())
+        .enumerate(history, max_results)
+        .unwrap_or_else(|e| {
+            panic!("{e}; configure the cap via CheckerBuilder::enumeration_work_cap")
+        })
 }
 
 /// Like [`enumerate_linearizations`] but with an explicit work cap: at most
 /// `work_limit` search nodes are visited before the enumeration gives up with
 /// [`EnumerationLimitExceeded`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Checker` with `enumeration_work_cap` and call `linearizations` or `enumerate`"
+)]
 pub fn try_enumerate_linearizations<V: RegisterValue>(
     history: &History<V>,
     init: &V,
     max_results: usize,
     work_limit: u64,
 ) -> Result<Vec<SeqHistory<V>>, EnumerationLimitExceeded> {
-    let engine = Engine::new(history, init);
-    let orders = engine.enumerate(max_results, work_limit)?;
-    Ok(orders
-        .iter()
-        .map(|order| order_to_seq(history, engine.ops(), order))
-        .collect())
+    Checker::builder(init.clone())
+        .enumeration_work_cap(work_limit)
+        .build()
+        .enumerate(history, max_results)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::history::HistoryBuilder;
+    use super::{EnumerationLimitExceeded, DEFAULT_STATE_LIMIT};
+    use crate::checker::Checker;
+    use crate::history::{History, HistoryBuilder};
     use crate::ids::{OpId, ProcessId, RegisterId};
 
     const R: RegisterId = RegisterId(0);
+
+    fn checker() -> Checker<i64> {
+        Checker::new(0i64)
+    }
 
     #[test]
     fn sequential_history_is_linearizable() {
@@ -191,7 +185,10 @@ mod tests {
         b.write(ProcessId(0), R, 2i64);
         b.read(ProcessId(1), R, 2i64);
         let h = b.build();
-        let witness = check_linearizable(&h, &0).expect("should be linearizable");
+        let witness = checker()
+            .check(&h)
+            .into_witness()
+            .expect("should be linearizable");
         assert!(witness.is_linearization_of(&h, &0));
     }
 
@@ -201,7 +198,7 @@ mod tests {
         b.write(ProcessId(0), R, 1i64);
         b.read(ProcessId(1), R, 0i64);
         let h = b.build();
-        assert!(check_linearizable(&h, &0).is_none());
+        assert!(!checker().check(&h).is_linearizable());
     }
 
     #[test]
@@ -215,7 +212,7 @@ mod tests {
             b.respond_write(w);
             let h = b.build();
             assert!(
-                check_linearizable(&h, &0).is_some(),
+                checker().check(&h).is_linearizable(),
                 "read of {read_val} should be allowed"
             );
         }
@@ -231,7 +228,7 @@ mod tests {
         b.read(ProcessId(1), R, 1i64);
         b.read(ProcessId(2), R, 0i64);
         let h = b.build();
-        assert!(check_linearizable(&h, &0).is_none());
+        assert!(!checker().check(&h).is_linearizable());
     }
 
     #[test]
@@ -241,7 +238,10 @@ mod tests {
         let _w = b.invoke_write(ProcessId(0), R, 7i64);
         b.read(ProcessId(1), R, 7i64);
         let h = b.build();
-        let witness = check_linearizable(&h, &0).expect("pending write should justify read");
+        let witness = checker()
+            .check(&h)
+            .into_witness()
+            .expect("pending write should justify read");
         assert_eq!(witness.writes().len(), 1);
     }
 
@@ -251,7 +251,7 @@ mod tests {
         let _w = b.invoke_write(ProcessId(0), R, 7i64);
         b.read(ProcessId(1), R, 0i64);
         let h = b.build();
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(checker().check(&h).is_linearizable());
     }
 
     #[test]
@@ -263,13 +263,13 @@ mod tests {
         b.read(ProcessId(1), R, 1i64);
         b.read(ProcessId(1), r1, 2i64);
         let h = b.build();
-        assert!(check_linearizable(&h, &0).is_some());
+        assert!(checker().check(&h).is_linearizable());
 
         let mut b = HistoryBuilder::new();
         b.write(ProcessId(0), R, 1i64);
         b.read(ProcessId(1), r1, 1i64); // wrong register never written
         let h = b.build();
-        assert!(check_linearizable(&h, &0).is_none());
+        assert!(!checker().check(&h).is_linearizable());
     }
 
     #[test]
@@ -286,7 +286,7 @@ mod tests {
         b.write(ProcessId(0), r1, 20i64);
         b.read(ProcessId(1), r1, 20i64);
         let h = b.build();
-        let witness = check_linearizable(&h, &0).expect("linearizable");
+        let witness = checker().check(&h).into_witness().expect("linearizable");
         assert!(witness.is_linearization_of(&h, &0));
     }
 
@@ -306,22 +306,22 @@ mod tests {
         b.respond_read(r1b, Value::Pair(1, 1));
         b.respond_write(w1);
         let h = b.build();
-        assert!(check_linearizable(&h, &Value::Init).is_some());
+        assert!(Checker::new(Value::Init).check(&h).is_linearizable());
     }
 
     #[test]
-    fn report_exposes_statistics() {
+    fn verdict_exposes_statistics() {
         let mut b = HistoryBuilder::new();
         b.write(ProcessId(0), R, 1i64);
         let h = b.build();
-        let report = check_linearizable_report(&h, &0, DEFAULT_STATE_LIMIT);
-        assert!(report.is_linearizable());
-        assert!(report.states_explored >= 1);
-        assert!(!report.limit_hit);
+        let verdict = checker().check(&h);
+        assert!(verdict.is_linearizable());
+        assert!(verdict.stats().states_explored >= 1);
+        assert!(verdict.is_conclusive());
     }
 
     #[test]
-    fn state_limit_aborts_and_is_reported() {
+    fn state_budget_aborts_and_is_reported() {
         // Many concurrent pending writes plus a read: a tiny budget cannot finish.
         let mut b = HistoryBuilder::new();
         for i in 0..8 {
@@ -329,9 +329,14 @@ mod tests {
         }
         b.read(ProcessId(9), R, 4i64);
         let h = b.build();
-        let report = check_linearizable_report(&h, &0, 2);
-        assert!(report.limit_hit);
-        assert!(!report.is_linearizable());
+        let verdict = Checker::builder(0i64).state_budget(2).build().check(&h);
+        assert!(!verdict.is_conclusive());
+        assert!(!verdict.is_linearizable());
+        let relaxed = Checker::builder(0i64)
+            .state_budget(DEFAULT_STATE_LIMIT)
+            .build()
+            .check(&h);
+        assert!(relaxed.is_conclusive());
     }
 
     #[test]
@@ -342,7 +347,7 @@ mod tests {
         b.respond_write(w0);
         b.respond_write(w1);
         let h = b.build();
-        let all = enumerate_linearizations(&h, &0, 100);
+        let all = checker().enumerate(&h, 100).unwrap();
         // Both interleavings of the two concurrent writes must appear.
         let orders: Vec<Vec<OpId>> = all.iter().map(|s| s.write_ids()).collect();
         assert!(orders.contains(&vec![OpId(0), OpId(1)]));
@@ -355,13 +360,13 @@ mod tests {
         b.write(ProcessId(0), R, 1i64);
         b.write(ProcessId(0), R, 2i64);
         let h = b.build();
-        let all = enumerate_linearizations(&h, &0, 100);
+        let all = checker().enumerate(&h, 100).unwrap();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].write_ids(), vec![OpId(0), OpId(1)]);
     }
 
     #[test]
-    fn try_enumerate_reports_work_limit() {
+    fn enumeration_work_cap_is_reported() {
         let mut b = HistoryBuilder::new();
         let ids: Vec<_> = (0..8)
             .map(|i| b.invoke_write(ProcessId(i), R, i as i64 + 1))
@@ -370,16 +375,17 @@ mod tests {
             b.respond_write(id);
         }
         let h = b.build();
-        let err = try_enumerate_linearizations(&h, &0, usize::MAX, 10).unwrap_err();
+        let tight = Checker::builder(0i64).enumeration_work_cap(10).build();
+        let err: EnumerationLimitExceeded = tight.enumerate(&h, usize::MAX).unwrap_err();
         assert!(err.nodes_visited > 10);
         // A generous cap succeeds on the same history.
-        assert!(try_enumerate_linearizations(&h, &0, 10, 1_000_000).is_ok());
+        assert!(checker().enumerate(&h, 10).is_ok());
     }
 
     #[test]
     fn empty_history_is_linearizable() {
         let h: History<i64> = History::new();
-        let witness = check_linearizable(&h, &0).unwrap();
+        let witness = checker().check(&h).into_witness().unwrap();
         assert!(witness.is_empty());
     }
 
@@ -397,7 +403,41 @@ mod tests {
         b.respond_write(w1);
         b.respond_read(r1, 20i64);
         let h = b.build();
-        let witness = check_linearizable(&h, &0).expect("linearizable");
+        let witness = checker().check(&h).into_witness().expect("linearizable");
         assert!(witness.is_linearization_of(&h, &0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_checker() {
+        use super::{
+            check_linearizable, check_linearizable_batch, check_linearizable_report,
+            enumerate_linearizations, try_enumerate_linearizations,
+        };
+        let mut b = HistoryBuilder::new();
+        let w0 = b.invoke_write(ProcessId(0), R, 1i64);
+        let w1 = b.invoke_write(ProcessId(1), R, 2i64);
+        b.respond_write(w0);
+        b.respond_write(w1);
+        b.read(ProcessId(2), R, 2i64);
+        let h = b.build();
+        let c = checker();
+        assert_eq!(check_linearizable(&h, &0), c.check(&h).into_witness());
+        let report = check_linearizable_report(&h, &0, DEFAULT_STATE_LIMIT);
+        let verdict = c.check(&h);
+        assert_eq!(report.witness, verdict.clone().into_witness());
+        assert_eq!(report.states_explored, verdict.stats().states_explored);
+        assert_eq!(report.limit_hit, !verdict.is_conclusive());
+        let batch = check_linearizable_batch(std::slice::from_ref(&h), &0, DEFAULT_STATE_LIMIT);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0], report);
+        assert_eq!(
+            enumerate_linearizations(&h, &0, 10),
+            c.enumerate(&h, 10).unwrap()
+        );
+        assert_eq!(
+            try_enumerate_linearizations(&h, &0, 10, 1_000_000).unwrap(),
+            c.enumerate(&h, 10).unwrap()
+        );
     }
 }

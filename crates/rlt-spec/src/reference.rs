@@ -267,9 +267,9 @@ fn enumerate_rec<V: RegisterValue>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checker::Checker;
     use crate::history::HistoryBuilder;
     use crate::ids::ProcessId;
-    use crate::linearizability::check_linearizable;
 
     const R: RegisterId = RegisterId(0);
 
@@ -283,7 +283,7 @@ mod tests {
         let h = b.build();
         assert_eq!(
             reference_check_linearizable(&h, &0, u64::MAX).is_some(),
-            check_linearizable(&h, &0).is_some()
+            Checker::new(0i64).check(&h).is_linearizable()
         );
 
         let mut b = HistoryBuilder::new();
@@ -291,6 +291,6 @@ mod tests {
         b.read(ProcessId(1), R, 0i64);
         let h = b.build();
         assert!(reference_check_linearizable(&h, &0, u64::MAX).is_none());
-        assert!(check_linearizable(&h, &0).is_none());
+        assert!(!Checker::new(0i64).check(&h).is_linearizable());
     }
 }

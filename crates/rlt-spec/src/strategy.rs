@@ -186,16 +186,16 @@ fn check_prefix_property<V: RegisterValue>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checker::Checker;
     use crate::history::HistoryBuilder;
     use crate::ids::{ProcessId, RegisterId};
-    use crate::linearizability::check_linearizable;
 
     const R: RegisterId = RegisterId(0);
 
     /// A strategy that linearizes writes by invocation time and reads right after the
     /// write they observed — valid (and prefix-stable) for the simple histories below.
     fn invocation_order_strategy(h: &History<i64>) -> Option<SeqHistory<i64>> {
-        check_linearizable(h, &0)
+        Checker::new(0i64).check(h).into_witness()
     }
 
     /// A deliberately unstable strategy: the order of two concurrent writes flips once
@@ -353,7 +353,7 @@ mod tests {
 
     #[test]
     fn closure_strategies_implement_the_trait() {
-        let strategy = |h: &History<i64>| check_linearizable(h, &0);
+        let strategy = |h: &History<i64>| Checker::new(0i64).check(h).into_witness();
         let mut b = HistoryBuilder::new();
         b.write(ProcessId(0), R, 5i64);
         let h = b.build();

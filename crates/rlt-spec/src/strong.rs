@@ -8,10 +8,11 @@
 //! whether it can be extended consistently to every extension; if no choice works, the
 //! family witnesses the impossibility.
 
+use crate::checker::{CheckStats, Checker};
+use crate::engine::{EnumerationLimitExceeded, Linearizations};
 use crate::history::History;
-use crate::linearizability::{
-    try_enumerate_linearizations, EnumerationLimitExceeded, DEFAULT_ENUMERATION_WORK_LIMIT,
-};
+use crate::ids::OpId;
+use crate::linearizability::DEFAULT_ENUMERATION_WORK_LIMIT;
 use crate::sequential::SeqHistory;
 use crate::value::RegisterValue;
 use std::fmt;
@@ -38,6 +39,13 @@ pub struct FamilyReport<V> {
     pub per_base_linearization: Vec<Option<usize>>,
     /// The base linearizations that were examined.
     pub base_linearizations: Vec<SeqHistory<V>>,
+    /// Search statistics: `enumeration_nodes` counts every node the base and
+    /// extension enumerations visited. Because the extensions are pulled *lazily*
+    /// from streaming [`Linearizations`] iterators, this is at most — and on families
+    /// with extensions the check never has to exhaust, strictly less than — what the
+    /// pre-streaming implementation spent materializing `max_linearizations` orders
+    /// per member.
+    pub stats: CheckStats,
 }
 
 impl<V> fmt::Display for FamilyReport<V> {
@@ -144,29 +152,48 @@ impl<V: RegisterValue + Send + Sync> ExtensionFamily<V> {
     ) -> Result<FamilyReport<V>, EnumerationLimitExceeded> {
         // The base gates everything (and is the usual work-cap offender), so it is
         // enumerated first, alone — a family whose base blows the cap fails after one
-        // budget's worth of work, as before. The extensions are then enumerated in
-        // parallel across the current rayon pool: they are independent, and families
-        // with several extensions are exactly the shape the Theorem 13 / Corollary 11
-        // sweeps check in bulk. Results come back in extension order, so the report
-        // (and which member's work-cap error surfaces first) matches the sequential
-        // pass.
-        let base_lins =
-            try_enumerate_linearizations(&self.base, &self.init, max_linearizations, work_limit)?;
-        let ext_lins: Vec<Vec<SeqHistory<V>>> = rayon::par_map(&self.extensions, |history| {
-            try_enumerate_linearizations(history, &self.init, max_linearizations, work_limit)
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        // budget's worth of work, as before, and the report needs every base
+        // linearization anyway. The extensions, in contrast, are *streamed*: each one
+        // is a lazy [`Linearizations`] iterator pulled only as far as the check
+        // needs — pulls stop at the first order that extends the base linearization
+        // under test, already-pulled orders are cached for later base linearizations,
+        // and an extension that never has to prove a negative is never exhausted (an
+        // extension past the first blocking one may not be pulled at all). The
+        // verdict and the per-base blocking indices are exactly those of the eager
+        // implementation; only the work (tracked in `stats.enumeration_nodes`)
+        // shrinks.
+        let checker = Checker::builder(self.init.clone())
+            .enumeration_work_cap(work_limit)
+            .build();
+        let mut base_iter = checker.linearizations(&self.base);
+        let mut base_lins: Vec<SeqHistory<V>> = Vec::new();
+        let mut base_projs: Vec<Vec<OpId>> = Vec::new();
+        while base_lins.len() < max_linearizations {
+            match base_iter.next() {
+                Some(Ok(order)) => {
+                    base_projs.push(mode.project_order(&self.base, &order));
+                    base_lins.push(base_iter.materialize(&order));
+                }
+                Some(Err(err)) => return Err(err),
+                None => break,
+            }
+        }
+        let mut exts: Vec<ExtStream<'_, V>> = self
+            .extensions
+            .iter()
+            .map(|history| ExtStream {
+                iter: checker.linearizations(history),
+                history,
+                projections: Vec::new(),
+                exhausted: false,
+            })
+            .collect();
         let mut per_base = Vec::new();
         let mut admits = false;
-        for base_lin in &base_lins {
+        for base_proj in &base_projs {
             let mut blocked = None;
-            for (ei, exts) in ext_lins.iter().enumerate() {
-                let extendable = exts.iter().any(|ext_lin| match mode {
-                    Mode::WritesOnly => base_lin.is_write_prefix_of(ext_lin),
-                    Mode::AllOperations => base_lin.is_sequence_prefix_of(ext_lin),
-                });
-                if !extendable {
+            for (ei, ext) in exts.iter_mut().enumerate() {
+                if !ext.extendable(base_proj, max_linearizations, mode)? {
                     blocked = Some(ei);
                     break;
                 }
@@ -176,11 +203,62 @@ impl<V: RegisterValue + Send + Sync> ExtensionFamily<V> {
             }
             per_base.push(blocked);
         }
+        let enumeration_nodes =
+            base_iter.nodes_visited() + exts.iter().map(|e| e.iter.nodes_visited()).sum::<u64>();
         Ok(FamilyReport {
             admits,
             per_base_linearization: per_base,
             base_linearizations: base_lins,
+            stats: CheckStats {
+                states_explored: 0,
+                states_memoized: 0,
+                enumeration_nodes,
+            },
         })
+    }
+}
+
+/// One extension's lazily pulled linearization stream: projections of the orders
+/// pulled so far (write ids or all ids, per [`Mode`]) plus the live iterator.
+struct ExtStream<'a, V> {
+    iter: Linearizations<'a, V>,
+    history: &'a History<V>,
+    projections: Vec<Vec<OpId>>,
+    exhausted: bool,
+}
+
+impl<V: RegisterValue> ExtStream<'_, V> {
+    /// Does some linearization of this extension have `base_proj` as a (projected)
+    /// prefix? Scans the cached projections first, then pulls fresh orders — stopping
+    /// at the first hit — until the space is exhausted or `max_linearizations` orders
+    /// have been examined (the same per-member bound the eager path applied).
+    fn extendable(
+        &mut self,
+        base_proj: &[OpId],
+        max_linearizations: usize,
+        mode: Mode,
+    ) -> Result<bool, EnumerationLimitExceeded> {
+        let extends = |ext_proj: &[OpId]| {
+            base_proj.len() <= ext_proj.len() && *base_proj == ext_proj[..base_proj.len()]
+        };
+        if self.projections.iter().any(|p| extends(p)) {
+            return Ok(true);
+        }
+        while !self.exhausted && self.projections.len() < max_linearizations {
+            match self.iter.next() {
+                Some(Ok(order)) => {
+                    let proj = mode.project_order(self.history, &order);
+                    let hit = extends(&proj);
+                    self.projections.push(proj);
+                    if hit {
+                        return Ok(true);
+                    }
+                }
+                Some(Err(err)) => return Err(err),
+                None => self.exhausted = true,
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -188,6 +266,26 @@ impl<V: RegisterValue + Send + Sync> ExtensionFamily<V> {
 enum Mode {
     WritesOnly,
     AllOperations,
+}
+
+impl Mode {
+    /// Projects a linearization order onto the subsequence the prefix property
+    /// quantifies over: write operations (Definition 4) or everything (Definition 3).
+    fn project_order<V: RegisterValue>(self, history: &History<V>, order: &[OpId]) -> Vec<OpId> {
+        match self {
+            Mode::WritesOnly => order
+                .iter()
+                .copied()
+                .filter(|id| {
+                    history
+                        .get(*id)
+                        .expect("order ids come from this history")
+                        .is_write()
+                })
+                .collect(),
+            Mode::AllOperations => order.to_vec(),
+        }
+    }
 }
 
 /// Convenience wrapper around [`ExtensionFamily::check_write_strong`]: returns `true`

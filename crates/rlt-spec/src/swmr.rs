@@ -17,9 +17,9 @@
 //!   linearization strategy for SWMR histories whose write order is the start-time
 //!   order, used to check Theorem 14 on recorded ABD histories.
 
+use crate::checker::Checker;
 use crate::history::History;
 use crate::ids::{OpId, ProcessId, RegisterId};
-use crate::linearizability::check_linearizable;
 use crate::op::Operation;
 use crate::sequential::SeqHistory;
 use crate::strategy::LinearizationStrategy;
@@ -168,8 +168,11 @@ impl<V: RegisterValue> LinearizationStrategy<V> for SwmrCanonical<V> {
         } else {
             // Fall back to the general checker (any linearization will do for property
             // L); its write order still agrees with invocation order because writes of a
-            // SWMR register are totally ordered in real time.
-            check_linearizable(h, &self.init)
+            // SWMR register are totally ordered in real time. `check_local` rather than
+            // `check` keeps this strategy impl free of `Send + Sync` bounds.
+            Checker::new(self.init.clone())
+                .check_local(h)
+                .into_witness()
         }
     }
 }
@@ -232,7 +235,7 @@ mod tests {
         let w1 = b.write(WRITER, R, 1i64);
         let w2 = b.invoke_write(WRITER, R, 2i64); // pending
         let h = b.build();
-        let f_output = check_linearizable(&h, &0).unwrap();
+        let f_output = Checker::new(0i64).check(&h).into_witness().unwrap();
         let starred = swmr_star(f_output.clone(), &h);
         // If the checker chose to include the pending write at the end, f* must drop it.
         if f_output.op_ids().last() == Some(&w2) {
@@ -248,7 +251,7 @@ mod tests {
         b.write(WRITER, R, 1i64);
         b.write(WRITER, R, 2i64);
         let h = b.build();
-        let f_output = check_linearizable(&h, &0).unwrap();
+        let f_output = Checker::new(0i64).check(&h).into_witness().unwrap();
         let starred = swmr_star(f_output.clone(), &h);
         assert_eq!(starred, f_output);
     }

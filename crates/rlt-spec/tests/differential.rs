@@ -1,44 +1,48 @@
-//! Differential tests: the engine-backed checker against the pre-rewrite reference
-//! implementation (`rlt_spec::reference`), on thousands of seeded random histories.
+//! Differential tests: the engine-backed [`Checker`] against the pre-rewrite
+//! reference implementation (`rlt_spec::reference`), on thousands of seeded random
+//! histories.
 //!
 //! Each history mixes pending and completed operations over 1–3 registers with a small
 //! value domain (so read values frequently collide with — and frequently contradict —
 //! written values, exercising both verdicts). For every history:
 //!
-//! * the engine's linearizable/not verdict must equal the reference's;
+//! * the checker's linearizable/not verdict must equal the reference's;
 //! * every witness either checker returns must pass the full Definition 2 check
 //!   (`SeqHistory::is_linearization_of`);
-//! * on the smaller histories, the engine's `enumerate_linearizations` must produce
-//!   exactly the reference enumeration (same orders, same sequence).
+//! * on the smaller histories, the checker's eager enumeration must produce exactly
+//!   the reference enumeration (same orders, same sequence).
+//!
+//! One `Checker` session is reused across each corpus — that is the intended usage
+//! pattern, and it routes every check through the warm-scratch path.
 
 mod common;
 
 use common::random_history;
-use rlt_spec::linearizability::{check_linearizable_report, enumerate_linearizations};
 use rlt_spec::reference::{reference_check_linearizable, reference_enumerate_linearizations};
-use rlt_spec::OpId;
+use rlt_spec::{Checker, OpId};
 
 #[test]
-fn engine_verdicts_match_reference_on_1000_histories_per_register_count() {
+fn checker_verdicts_match_reference_on_1000_histories_per_register_count() {
+    let checker = Checker::builder(0i64).state_budget(u64::MAX).build();
     let mut linearizable = 0u32;
     let mut total = 0u32;
     for registers in 1..=3usize {
         for seed in 0..1_000u64 {
             let h = random_history(seed * 3 + registers as u64, 10, registers);
-            let report = check_linearizable_report(&h, &0, u64::MAX);
+            let verdict = checker.check(&h);
             let reference = reference_check_linearizable(&h, &0, u64::MAX);
             assert_eq!(
-                report.is_linearizable(),
+                verdict.is_linearizable(),
                 reference.is_some(),
                 "verdict mismatch on seed {seed} with {registers} register(s): {h}"
             );
-            assert!(!report.limit_hit);
+            assert!(verdict.is_conclusive());
             total += 1;
-            if let Some(witness) = &report.witness {
+            if let Some(witness) = verdict.witness() {
                 linearizable += 1;
                 assert!(
                     witness.is_linearization_of(&h, &0),
-                    "engine witness fails Definition 2 on seed {seed} ({registers} regs): {h}\nwitness: {witness}"
+                    "checker witness fails Definition 2 on seed {seed} ({registers} regs): {h}\nwitness: {witness}"
                 );
             }
             if let Some(witness) = &reference {
@@ -62,11 +66,14 @@ fn engine_verdicts_match_reference_on_1000_histories_per_register_count() {
 }
 
 #[test]
-fn engine_enumeration_matches_reference_exactly() {
+fn checker_enumeration_matches_reference_exactly() {
+    let checker = Checker::new(0i64);
     for registers in 1..=2usize {
         for seed in 0..300u64 {
             let h = random_history(seed * 7 + registers as u64, 7, registers);
-            let engine: Vec<Vec<OpId>> = enumerate_linearizations(&h, &0, 10_000)
+            let engine: Vec<Vec<OpId>> = checker
+                .enumerate(&h, 10_000)
+                .expect("within work cap")
                 .iter()
                 .map(|s| s.op_ids())
                 .collect();
@@ -83,19 +90,20 @@ fn engine_enumeration_matches_reference_exactly() {
 }
 
 #[test]
-fn engine_states_never_exceed_reference_exploration_order_on_multi_register() {
+fn checker_states_never_exceed_reference_exploration_order_on_multi_register() {
     // Per-register composition: on histories spanning several registers, the engine's
     // explored-state count must stay at the sum of small per-register searches. Checked
     // coarsely: states explored never exceeds 4 * ops + 64 on these small histories
     // (the joint search's worst case grows multiplicatively instead).
+    let checker = Checker::builder(0i64).state_budget(u64::MAX).build();
     for seed in 0..500u64 {
         let h = random_history(seed + 77, 10, 3);
-        let report = check_linearizable_report(&h, &0, u64::MAX);
+        let verdict = checker.check(&h);
         let bound = 4 * h.len() as u64 + 64;
         assert!(
-            report.states_explored <= bound,
+            verdict.stats().states_explored <= bound,
             "seed {seed}: {} states on a {}-op history (bound {bound})",
-            report.states_explored,
+            verdict.stats().states_explored,
             h.len()
         );
     }

@@ -1,18 +1,21 @@
-//! Parallel-determinism suite: the fork-join engine pinned to the sequential path.
+//! Parallel-determinism suite: the fork-join engine pinned to the sequential path,
+//! through the [`Checker`] session API.
 //!
-//! The engine's contract is that thread count is *unobservable* in results: verdicts,
-//! witnesses, statistics, enumeration output, and family reports must be bit-identical
-//! across pools of width 1, 2, and N. These tests diff the parallel paths against
-//! [`Engine::check_sequential`] / the single-threaded pool on the same seeded corpus
-//! the engine-vs-reference differential suite uses, plus dedicated corpora for the
+//! The checker's contract is that thread policy is *unobservable* in results:
+//! verdicts, witnesses, statistics, enumeration output, and family reports must be
+//! bit-identical across [`ThreadPolicy::Sequential`], [`ThreadPolicy::Auto`] on pools
+//! of any width, and [`ThreadPolicy::Fixed`] at any width. These tests diff the
+//! parallel paths against the sequential policy on the same seeded corpus the
+//! engine-vs-reference differential suite uses, plus dedicated corpora for the
 //! small-budget replay path and the multi-register enumeration product.
 
 mod common;
 
 use common::random_history;
-use rlt_spec::linearizability::{check_linearizable_batch, check_linearizable_report};
 use rlt_spec::reference::reference_enumerate_linearizations;
-use rlt_spec::{Engine, ExtensionFamily, HistoryBuilder, OpId, ProcessId, RegisterId};
+use rlt_spec::{
+    Checker, Engine, ExtensionFamily, HistoryBuilder, OpId, ProcessId, RegisterId, ThreadPolicy,
+};
 
 fn pool(threads: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()
@@ -21,27 +24,42 @@ fn pool(threads: usize) -> rayon::ThreadPool {
         .expect("build pool")
 }
 
+fn checker(policy: ThreadPolicy) -> Checker<i64> {
+    Checker::builder(0i64)
+        .state_budget(u64::MAX)
+        .threads(policy)
+        .build()
+}
+
 #[test]
-fn check_reports_are_bit_identical_across_thread_counts() {
-    // The full 3,000-history differential corpus: every report field must match the
-    // sequential engine exactly, on pools of width 2 and 4.
+fn verdicts_are_bit_identical_across_thread_policies() {
+    // The full 3,000-history differential corpus: every verdict field must match the
+    // sequential checker exactly, under Fixed(2), Fixed(4), and Auto inside a pool.
     let histories: Vec<_> = (1..=3usize)
         .flat_map(|registers| {
             (0..1_000u64)
                 .map(move |seed| random_history(seed * 3 + registers as u64, 10, registers))
         })
         .collect();
+    let sequential_checker = checker(ThreadPolicy::Sequential);
     let sequential: Vec<_> = histories
         .iter()
-        .map(|h| check_linearizable_report(h, &0, u64::MAX))
+        .map(|h| sequential_checker.check(h))
         .collect();
     for threads in [2usize, 4] {
-        let pool = pool(threads);
+        let fixed = checker(ThreadPolicy::Fixed(threads));
+        let auto = checker(ThreadPolicy::Auto);
+        let installed = pool(threads);
         for (i, h) in histories.iter().enumerate() {
-            let parallel = pool.install(|| check_linearizable_report(h, &0, u64::MAX));
             assert_eq!(
-                parallel, sequential[i],
-                "report diverged at history {i} with {threads} threads: {h}"
+                fixed.check(h),
+                sequential[i],
+                "Fixed({threads}) diverged at history {i}: {h}"
+            );
+            assert_eq!(
+                installed.install(|| auto.check(h)),
+                sequential[i],
+                "Auto in a {threads}-wide pool diverged at history {i}: {h}"
             );
         }
     }
@@ -53,13 +71,19 @@ fn tiny_state_budgets_replay_identically() {
     // parallel pass frequently detects that the sequential pass would have run dry
     // mid-search and must reproduce its exact truncated statistics.
     for threads in [2usize, 4] {
-        let pool = pool(threads);
         for seed in 0..300u64 {
             let h = random_history(seed + 5_000, 12, 3);
             for limit in [0u64, 1, 2, 5, 17, 64] {
-                let engine = Engine::new(&h, &0);
-                let sequential = engine.check_sequential(limit);
-                let parallel = pool.install(|| engine.check(limit));
+                let sequential = Checker::builder(0i64)
+                    .state_budget(limit)
+                    .threads(ThreadPolicy::Sequential)
+                    .build()
+                    .check(&h);
+                let parallel = Checker::builder(0i64)
+                    .state_budget(limit)
+                    .threads(ThreadPolicy::Fixed(threads))
+                    .build()
+                    .check(&h);
                 assert_eq!(
                     parallel, sequential,
                     "seed {seed} limit {limit} threads {threads}: {h}"
@@ -70,18 +94,20 @@ fn tiny_state_budgets_replay_identically() {
 }
 
 #[test]
-fn batch_reports_match_individual_reports_at_any_width() {
+fn batch_verdicts_match_individual_verdicts_at_any_width() {
     let histories: Vec<_> = (0..200u64)
         .map(|seed| random_history(seed * 11 + 1, 10, 3))
         .collect();
-    let solo: Vec<_> = histories
-        .iter()
-        .map(|h| check_linearizable_report(h, &0, u64::MAX))
-        .collect();
-    for threads in [1usize, 2, 4] {
-        let pool = pool(threads);
-        let batch = pool.install(|| check_linearizable_batch(&histories, &0, u64::MAX));
-        assert_eq!(batch, solo, "batch diverged at {threads} threads");
+    let solo_checker = checker(ThreadPolicy::Sequential);
+    let solo: Vec<_> = histories.iter().map(|h| solo_checker.check(h)).collect();
+    for policy in [
+        ThreadPolicy::Sequential,
+        ThreadPolicy::Auto,
+        ThreadPolicy::Fixed(2),
+        ThreadPolicy::Fixed(4),
+    ] {
+        let batch = checker(policy).check_many(&histories);
+        assert_eq!(batch, solo, "batch diverged under {policy:?}");
     }
 }
 
@@ -116,20 +142,20 @@ fn enumeration_output_is_independent_of_thread_count() {
     // pool-installed call sites (the strong.rs family checks); pin the output anyway.
     let seq_pool = pool(1);
     let par_pool = pool(4);
+    let checker = Checker::new(0i64);
     for seed in 0..100u64 {
         let h = random_history(seed * 17 + 7, 9, 2);
-        let engine = Engine::new(&h, &0);
-        let sequential = seq_pool.install(|| engine.enumerate(10_000, u64::MAX));
-        let parallel = par_pool.install(|| engine.enumerate(10_000, u64::MAX));
+        let sequential = seq_pool.install(|| checker.enumerate(&h, 10_000));
+        let parallel = par_pool.install(|| checker.enumerate(&h, 10_000));
         assert_eq!(sequential.unwrap(), parallel.unwrap(), "seed {seed}");
     }
 }
 
 #[test]
 fn extension_family_reports_are_identical_across_thread_counts() {
-    // The Theorem 13 miniature family (two conflicting extensions) through the
-    // parallel member enumeration: the report — including which extension blocks each
-    // base linearization — must not depend on pool width.
+    // The Theorem 13 miniature family (two conflicting extensions) through the lazy
+    // member enumeration: the report — including which extension blocks each base
+    // linearization and the enumeration node count — must not depend on pool width.
     const R: RegisterId = RegisterId(0);
     let mut b = HistoryBuilder::new();
     let w1 = b.invoke_write(ProcessId(1), R, 1i64);

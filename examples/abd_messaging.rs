@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use rlt_core::mp::AbdCluster;
 use rlt_core::spec::strategy::check_write_strong_prefix_property;
 use rlt_core::spec::swmr::canonical_swmr_strategy;
-use rlt_core::spec::{check_linearizable, ProcessId};
+use rlt_core::spec::{Checker, ProcessId};
 
 fn main() {
     let n = 5;
@@ -21,6 +21,8 @@ fn main() {
     let mut linearizable = 0;
     let mut write_strong = 0;
 
+    // One checking session for the whole sweep (reuses search scratch across seeds).
+    let checker = Checker::new(0i64);
     for seed in 0..schedules {
         let mut cluster = AbdCluster::new(n, writer);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -50,7 +52,7 @@ fn main() {
         cluster.run_to_quiescence(&mut rng, 100_000);
 
         let history = cluster.history();
-        if check_linearizable(&history, &0).is_some() {
+        if checker.check(&history).is_linearizable() {
             linearizable += 1;
         }
         let strategy = canonical_swmr_strategy(0i64);

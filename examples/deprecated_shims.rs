@@ -1,0 +1,54 @@
+//! Backward-compatibility proof: this example uses **only** the pre-`Checker`
+//! free-function API — `check_linearizable`, `check_linearizable_report`,
+//! `check_linearizable_batch`, `enumerate_linearizations`,
+//! `try_enumerate_linearizations` — exactly as pre-redesign code would. It must keep
+//! compiling (deprecation warnings allowed, hence the crate-level `allow`) and keep
+//! returning the same answers as the session API; CI builds and runs it.
+//!
+//! Run with: `cargo run --example deprecated_shims`
+
+#![allow(deprecated)]
+
+use rlt_core::spec::{
+    check_linearizable, check_linearizable_batch, check_linearizable_report,
+    enumerate_linearizations, try_enumerate_linearizations, HistoryBuilder, ProcessId, RegisterId,
+    DEFAULT_STATE_LIMIT,
+};
+
+fn main() {
+    let reg = RegisterId(0);
+    let mut b = HistoryBuilder::new();
+    let w0 = b.invoke_write(ProcessId(0), reg, 1i64);
+    let w1 = b.invoke_write(ProcessId(1), reg, 2i64);
+    b.respond_write(w0);
+    b.respond_write(w1);
+    b.read(ProcessId(2), reg, 2i64);
+    let history = b.build();
+
+    let witness = check_linearizable(&history, &0).expect("linearizable");
+    println!("witness: {witness}");
+
+    let report = check_linearizable_report(&history, &0, DEFAULT_STATE_LIMIT);
+    assert!(report.is_linearizable());
+    assert!(!report.limit_hit);
+    println!(
+        "report: {} states explored, {} memoized",
+        report.states_explored, report.states_memoized
+    );
+
+    let batch = check_linearizable_batch(std::slice::from_ref(&history), &0, DEFAULT_STATE_LIMIT);
+    assert_eq!(batch.len(), 1);
+    assert_eq!(batch[0], report);
+    println!("batch report matches the solo report");
+
+    let all = enumerate_linearizations(&history, &0, 100);
+    let bounded = try_enumerate_linearizations(&history, &0, 100, 1_000_000).expect("within cap");
+    assert_eq!(all, bounded);
+    println!("{} linearizations enumerated", all.len());
+
+    let mut b = HistoryBuilder::new();
+    b.write(ProcessId(0), reg, 1i64);
+    b.read(ProcessId(1), reg, 0i64); // stale
+    assert!(check_linearizable(&b.build(), &0).is_none());
+    println!("stale read rejected — the deprecated surface still answers correctly");
+}

@@ -18,8 +18,8 @@ use rlt_core::registers::algorithm3::VectorStrategy;
 use rlt_core::registers::algorithm4::LamportSim;
 use rlt_core::registers::counterexample::theorem13_family;
 use rlt_core::registers::schedule::{random_run, WorkloadParams};
-use rlt_core::spec::check_linearizable;
 use rlt_core::spec::strategy::check_write_strong_prefix_property;
+use rlt_core::spec::Checker;
 
 fn main() {
     let schedules = 20u64;
@@ -32,11 +32,13 @@ fn main() {
     let mut alg2_ok = 0;
     let mut alg2_wsl_ok = 0;
     let mut alg4_ok = 0;
+    // One checking session for the whole sweep (reuses search scratch across seeds).
+    let checker = Checker::new(0i64);
     for seed in 0..schedules {
         let mut v = VectorSim::new(3);
         random_run(&mut v, seed, params);
         let trace = v.trace();
-        if check_linearizable(&trace.history, &0).is_some() {
+        if checker.check(&trace.history).is_linearizable() {
             alg2_ok += 1;
         }
         if check_write_strong_prefix_property(
@@ -51,7 +53,7 @@ fn main() {
 
         let mut l = LamportSim::new(3);
         random_run(&mut l, seed, params);
-        if check_linearizable(&l.history(), &0).is_some() {
+        if checker.check(&l.history()).is_linearizable() {
             alg4_ok += 1;
         }
     }

@@ -7,7 +7,7 @@ use rlt_core::registers::algorithm2::VectorSim;
 use rlt_core::registers::algorithm3::{vector_linearization, VectorStrategy};
 use rlt_core::registers::threaded::VectorRegister;
 use rlt_core::spec::strategy::check_write_strong_prefix_property;
-use rlt_core::spec::{check_linearizable, ProcessId};
+use rlt_core::spec::{Checker, ProcessId};
 use std::thread;
 
 fn main() {
@@ -63,7 +63,7 @@ fn main() {
     let history = reg.history();
     println!("threaded run recorded {} operations", history.len());
     assert!(
-        check_linearizable(&history, &0).is_some(),
+        Checker::new(0i64).check(&history).is_linearizable(),
         "the threaded history must be linearizable"
     );
     println!("threaded history is linearizable ✔");

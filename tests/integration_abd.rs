@@ -7,7 +7,7 @@ use rlt_core::spec::strategy::check_write_strong_prefix_property;
 use rlt_core::spec::swmr::{
     canonical_swmr_strategy, effective_swmr_writes, is_swmr_history, swmr_star,
 };
-use rlt_core::spec::{check_linearizable, check_linearizable_batch, ProcessId};
+use rlt_core::spec::{Checker, ProcessId};
 
 fn adversarial_run(n: usize, writer: ProcessId, seed: u64, crash: Option<ProcessId>) -> AbdCluster {
     let mut cluster = AbdCluster::new(n, writer);
@@ -45,7 +45,10 @@ fn abd_histories_are_swmr_and_linearizable() {
         let cluster = adversarial_run(5, ProcessId(0), seed, None);
         let h = cluster.history();
         assert!(is_swmr_history(&h), "seed {seed}");
-        assert!(check_linearizable(&h, &0).is_some(), "seed {seed}");
+        assert!(
+            Checker::new(0i64).check(&h).is_linearizable(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -65,7 +68,10 @@ fn theorem14_holds_under_minority_crashes() {
     for seed in 0..6u64 {
         let cluster = adversarial_run(5, ProcessId(0), seed, Some(ProcessId(4)));
         let h = cluster.history();
-        assert!(check_linearizable(&h, &0).is_some(), "seed {seed}");
+        assert!(
+            Checker::new(0i64).check(&h).is_linearizable(),
+            "seed {seed}"
+        );
         let strategy = canonical_swmr_strategy(0i64);
         assert!(
             check_write_strong_prefix_property(&strategy, &h, &0).is_ok(),
@@ -81,7 +87,10 @@ fn f_star_write_sequence_matches_effective_writes() {
     for seed in 0..6u64 {
         let cluster = adversarial_run(5, ProcessId(0), seed, None);
         let h = cluster.history();
-        let f_output = check_linearizable(&h, &0).expect("linearizable");
+        let f_output = Checker::new(0i64)
+            .check(&h)
+            .into_witness()
+            .expect("linearizable");
         let starred = swmr_star(f_output, &h);
         let expected = effective_swmr_writes(&h);
         let mut got = starred.write_ids();
@@ -110,13 +119,15 @@ fn larger_abd_clusters_stay_linearizable_under_batch_checking() {
             histories.push(h);
         }
     }
-    let reports = check_linearizable_batch(&histories, &0, u64::MAX);
+    let reports = Checker::builder(0i64)
+        .state_budget(u64::MAX)
+        .build()
+        .check_many(&histories);
     assert_eq!(reports.len(), histories.len());
     for (i, report) in reports.iter().enumerate() {
-        assert!(!report.limit_hit, "history {i}");
+        assert!(report.is_conclusive(), "history {i}");
         let witness = report
-            .witness
-            .as_ref()
+            .witness()
             .unwrap_or_else(|| panic!("ABD produced a non-linearizable history at index {i}"));
         assert!(
             witness.is_linearization_of(&histories[i], &0),
@@ -149,5 +160,5 @@ fn crashed_majority_leaves_pending_operations_without_breaking_safety() {
     cluster.run_to_quiescence(&mut rng, 10_000);
     let h = cluster.history();
     assert_eq!(h.pending().count(), 1); // the read can never finish
-    assert!(check_linearizable(&h, &0).is_some());
+    assert!(Checker::new(0i64).check(&h).is_linearizable());
 }

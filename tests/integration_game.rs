@@ -3,7 +3,7 @@
 
 use rlt_core::game::{compare_modes, run_game, run_wrapped, GameConfig};
 use rlt_core::sim::RegisterMode;
-use rlt_core::spec::{check_linearizable, Value};
+use rlt_core::spec::{Checker, Value};
 
 #[test]
 fn theorem6_and_theorem7_dichotomy_end_to_end() {
@@ -150,5 +150,7 @@ fn game_operations_use_the_three_shared_registers() {
         rlt_core::game::R1,
         Value::Int(1),
     );
-    assert!(check_linearizable(&mem.history(), &Value::Init).is_some());
+    assert!(Checker::new(Value::Init)
+        .check(&mem.history())
+        .is_linearizable());
 }

@@ -12,7 +12,7 @@ use rlt_core::registers::schedule::{random_run, WorkloadParams};
 use rlt_core::registers::threaded::{LamportRegister, VectorRegister};
 use rlt_core::spec::strategy::check_write_strong_prefix_property;
 use rlt_core::spec::strong::ExtensionFamily;
-use rlt_core::spec::{check_linearizable, ProcessId};
+use rlt_core::spec::{Checker, ProcessId};
 use std::thread;
 
 #[test]
@@ -48,7 +48,7 @@ fn theorem12_lamport_register_is_linearizable_over_many_random_schedules() {
             },
         );
         assert!(
-            check_linearizable(&sim.history(), &0).is_some(),
+            Checker::new(0i64).check(&sim.history()).is_linearizable(),
             "Theorem 12 violated on seed {seed}"
         );
     }
@@ -58,8 +58,9 @@ fn theorem12_lamport_register_is_linearizable_over_many_random_schedules() {
 fn theorem13_impossibility_is_reproduced_exactly() {
     let outcome = theorem13_family();
     assert!(outcome.demonstrates_impossibility());
-    assert!(check_linearizable(&outcome.case1, &0).is_some());
-    assert!(check_linearizable(&outcome.case2, &0).is_some());
+    let checker = Checker::new(0i64);
+    assert!(checker.check(&outcome.case1).is_linearizable());
+    assert!(checker.check(&outcome.case2).is_linearizable());
     assert!(outcome.base.is_prefix_of(&outcome.case1));
     assert!(outcome.base.is_prefix_of(&outcome.case2));
 }
@@ -144,8 +145,9 @@ fn threaded_registers_survive_heavier_concurrency() {
     for h in handles {
         h.join().unwrap();
     }
-    assert!(check_linearizable(&vector.history(), &0).is_some());
-    assert!(check_linearizable(&lamport.history(), &0).is_some());
+    let checker = Checker::new(0i64);
+    assert!(checker.check(&vector.history()).is_linearizable());
+    assert!(checker.check(&lamport.history()).is_linearizable());
 }
 
 #[test]

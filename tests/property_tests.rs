@@ -169,7 +169,7 @@ proptest! {
         };
         prop_assume!(!per_process_overlap);
         let history = execute_script(&script);
-        prop_assert!(check_linearizable(&history, &0).is_some());
+        prop_assert!(Checker::new(0i64).check(&history).is_linearizable());
     }
 
     #[test]
@@ -186,7 +186,7 @@ proptest! {
     #[test]
     fn linearization_witnesses_always_satisfy_definition2(script in arb_script(14)) {
         let history = execute_script(&script);
-        if let Some(witness) = check_linearizable(&history, &0) {
+        if let Some(witness) = Checker::new(0i64).check(&history).into_witness() {
             prop_assert!(witness.is_linearization_of(&history, &0));
         }
     }
@@ -260,7 +260,7 @@ proptest! {
             }
         }
         sim.run_round_robin(100_000);
-        prop_assert!(check_linearizable(&sim.history(), &0).is_some());
+        prop_assert!(Checker::new(0i64).check(&sim.history()).is_linearizable());
     }
 }
 

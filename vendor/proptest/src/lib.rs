@@ -230,7 +230,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Lengths acceptable to [`vec`]: an exact length or a half-open range.
+    /// Lengths acceptable to [`vec()`]: an exact length or a half-open range.
     pub trait IntoLenRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
