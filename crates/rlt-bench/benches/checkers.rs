@@ -10,7 +10,13 @@
 //!   prefixes are feasible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rlt_bench::{lamport_workload, multi_register_workload, small_history_corpus, vector_workload};
+use rlt_bench::tracked::{
+    DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, MEMO_ARENA_SPLIT_THRESHOLD, WORKLOAD_SEED,
+};
+use rlt_bench::{
+    distinct_value_workload, lamport_workload, multi_register_workload, small_history_corpus,
+    vector_workload,
+};
 use rlt_registers::algorithm3::vector_linearization;
 use rlt_spec::reference::reference_check_linearizable;
 use rlt_spec::{Checker, History, ThreadPolicy, DEFAULT_STATE_LIMIT};
@@ -130,6 +136,37 @@ fn checker_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+fn memo_arena_large_keys(c: &mut Criterion) {
+    // Experiment E12: the arena-backed memo table on the many-distinct-value
+    // large-key workload (112 ops => two-word taken bitsets, so every memo key takes
+    // the skip-compacted multi-word path), and the within-register subtree split
+    // across pool widths. State counters are bit-identical at every width — pinned
+    // by the rlt-spec `parallel` suite — so the spread is pure scheduling.
+    let mut group = c.benchmark_group("memo_arena_distinct_values");
+    group.sample_size(20);
+    let history = distinct_value_workload(DISTINCT_VALUE_OPS, DISTINCT_VALUE_BURST, WORKLOAD_SEED);
+    let unsplit = Checker::builder(0i64)
+        .threads(ThreadPolicy::Sequential)
+        .build();
+    group.bench_function("sequential_unsplit", |b| {
+        b.iter(|| black_box(unsplit.check(&history).is_linearizable()));
+    });
+    for &threads in &[1usize, 2, 4] {
+        let split = Checker::builder(0i64)
+            .threads(ThreadPolicy::Fixed(threads))
+            .split_threshold(MEMO_ARENA_SPLIT_THRESHOLD)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("split_threads", threads),
+            &history,
+            |b, h| {
+                b.iter(|| black_box(split.check(h).is_linearizable()));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn algorithm3_linearization(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm3_vector_linearization");
     group.sample_size(20);
@@ -169,6 +206,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = linearizability_checker, engine_vs_reference, parallel_engine_scaling, checker_reuse, algorithm3_linearization, algorithm3_vs_general_checker
+    targets = linearizability_checker, engine_vs_reference, parallel_engine_scaling, checker_reuse, memo_arena_large_keys, algorithm3_linearization, algorithm3_vs_general_checker
 }
 criterion_main!(benches);

@@ -3,14 +3,19 @@
 //! Emits three JSON artifacts so every experiment has a tracked perf trajectory
 //! across PRs (see `EXPERIMENTS.md`):
 //!
-//! * `BENCH_checkers.json` — experiments E10 (checker scaling) and E11 (parallel
-//!   engine scaling): the engine-backed [`Checker`] session vs the pre-engine
-//!   reference checker on the `lamport_history` and `multi_register_3x` workloads,
-//!   the fork-join engine across thread-pool widths (single checks and 16-history
-//!   `check_many` batches through `ThreadPolicy::Fixed` checkers), and the
-//!   `checker_reused` / `checker_fresh` scratch-reuse pair on the small-history
-//!   corpus. Every row carries a `threads` field; `threads: 1` rows are the
-//!   sequential engine, directly comparable with earlier PRs' rows.
+//! * `BENCH_checkers.json` — experiments E10 (checker scaling), E11 (parallel
+//!   engine scaling), and E12 (memo arena + within-register sharding): the
+//!   engine-backed [`Checker`] session vs the pre-engine reference checker on the
+//!   `lamport_history` and `multi_register_3x` workloads, the fork-join engine
+//!   across thread-pool widths (single checks and 16-history `check_many` batches
+//!   through `ThreadPolicy::Fixed` checkers), the `checker_reused` /
+//!   `checker_fresh` scratch-reuse pair on the small-history corpus, and the
+//!   `memo_arena` rows (large-key many-distinct-value workload with the subtree
+//!   split engaged). Every row carries a `threads` field plus the memo-table
+//!   counters (`memo_probes` / `memo_hits` / `memo_arena_hwm`); `threads: 1` rows
+//!   are the sequential engine, directly comparable with earlier PRs' rows, and the
+//!   deterministic state counters are cross-checked in CI by the `state_drift_guard`
+//!   bin.
 //! * `BENCH_game.json` — experiment E2: cost of 10-round Figure 1/2 games per
 //!   register mode and process count, plus full termination experiments.
 //! * `BENCH_abd.json` — experiment E3: ABD write+read round-trip cost as the cluster
@@ -22,12 +27,19 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlt_bench::{lamport_workload, multi_register_workload, small_history_corpus};
+use rlt_bench::tracked::{
+    BATCH_SIZE, DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, MEMO_ARENA_SPLIT_THRESHOLD,
+    MULTI_REGISTERS, REUSE_CORPUS, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED, WORKLOAD_PROCESSES,
+    WORKLOAD_SEED,
+};
+use rlt_bench::{
+    distinct_value_workload, lamport_workload, multi_register_workload, small_history_corpus,
+};
 use rlt_game::{run_game, termination_experiment, GameConfig};
 use rlt_mp::AbdCluster;
 use rlt_sim::RegisterMode;
 use rlt_spec::reference::reference_check_linearizable;
-use rlt_spec::{Checker, History, ProcessId, ThreadPolicy, DEFAULT_STATE_LIMIT};
+use rlt_spec::{Checker, History, MemoStats, ProcessId, ThreadPolicy, DEFAULT_STATE_LIMIT};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -38,25 +50,15 @@ const SINGLE_REGISTER_SIZES: &[usize] = &[20, 40, 80, 160, 320];
 /// Decision counts per register for the multi-register composition series.
 const MULTI_REGISTER_SIZES: &[usize] = &[20, 40, 80, 160];
 
-/// Registers in the multi-register series.
-const MULTI_REGISTERS: usize = 3;
-
 /// Sizes the reference checker participates in (its historical bench ceiling).
 const REFERENCE_CEILING: usize = 80;
 
 /// Pool widths measured by the E11 parallel rows.
 const THREAD_COUNTS: &[usize] = &[1, 2, 4];
 
-/// Histories per batch in the `engine_batch` rows.
-const BATCH_SIZE: u64 = 16;
-
-/// Histories in the `checker_reused` / `checker_fresh` scratch-reuse corpus.
-const REUSE_CORPUS: usize = 256;
-
-/// Max operations per history in the scratch-reuse corpus: small enough that
-/// allocation is a visible fraction of check time, concurrent enough that the memo
-/// tables see real traffic (reuse keeps their grown capacity warm).
-const REUSE_MAX_OPS: usize = 14;
+// Workload geometry (sizes, seeds, thresholds) lives in `rlt_bench::tracked`,
+// shared with the `state_drift_guard` bin so the two can never disagree about what
+// a tracked row means.
 
 /// Wall-time budget per measured point; iterations repeat until it is spent.
 const MEASURE_BUDGET_NANOS: u128 = 200_000_000;
@@ -69,9 +71,24 @@ struct Row {
     linearizable: bool,
     states_explored: u64,
     states_memoized: u64,
+    memo: MemoStats,
     mean_wall_nanos: u128,
     iterations: u64,
     limit_hit: bool,
+}
+
+/// Folds the memo counters of a batch/corpus probe: probes and hits sum, the arena
+/// high-water is a maximum (it is already a per-check max).
+fn fold_memo<'a>(probes: impl Iterator<Item = &'a rlt_spec::Verdict<i64>>) -> MemoStats {
+    let mut memo = MemoStats::default();
+    for verdict in probes {
+        memo.probes += verdict.stats().memo.probes;
+        memo.hits += verdict.stats().memo.hits;
+        memo.arena_high_water = memo
+            .arena_high_water
+            .max(verdict.stats().memo.arena_high_water);
+    }
+    memo
 }
 
 /// Times `f` repeatedly until the budget is spent and returns the mean nanoseconds.
@@ -105,6 +122,7 @@ fn measure_engine(workload: &str, history: &History<i64>) -> Row {
         linearizable,
         states_explored: probe.stats().states_explored,
         states_memoized: probe.stats().states_memoized,
+        memo: probe.stats().memo,
         mean_wall_nanos,
         iterations,
         limit_hit: !probe.is_conclusive(),
@@ -128,6 +146,35 @@ fn measure_engine_parallel(workload: &str, history: &History<i64>, threads: usiz
         linearizable,
         states_explored: probe.stats().states_explored,
         states_memoized: probe.stats().states_memoized,
+        memo: probe.stats().memo,
+        mean_wall_nanos,
+        iterations,
+        limit_hit: !probe.is_conclusive(),
+    }
+}
+
+/// The `memo_arena` rows: the arena-backed memo table on the many-distinct-value
+/// large-key workload, with the within-register subtree split engaged
+/// ([`MEMO_ARENA_SPLIT_THRESHOLD`] <= burst size). The state counters are identical
+/// at every width (the split replay is bit-identical to the sequential shard sweep);
+/// on a single-CPU host widths > 1 price speculation overhead only, like E11.
+fn measure_memo_arena(workload: &str, history: &History<i64>, threads: usize) -> Row {
+    let checker = Checker::builder(0i64)
+        .threads(ThreadPolicy::Fixed(threads))
+        .split_threshold(MEMO_ARENA_SPLIT_THRESHOLD)
+        .build();
+    let probe = checker.check(history);
+    let (mean_wall_nanos, iterations, linearizable) =
+        mean_time(|| checker.check(history).is_linearizable());
+    Row {
+        checker: "memo_arena",
+        workload: workload.to_string(),
+        ops: history.len(),
+        threads,
+        linearizable,
+        states_explored: probe.stats().states_explored,
+        states_memoized: probe.stats().states_memoized,
+        memo: probe.stats().memo,
         mean_wall_nanos,
         iterations,
         limit_hit: !probe.is_conclusive(),
@@ -156,6 +203,7 @@ fn measure_engine_batch(workload: &str, histories: &[History<i64>], threads: usi
         linearizable,
         states_explored: probe.iter().map(|r| r.stats().states_explored).sum(),
         states_memoized: probe.iter().map(|r| r.stats().states_memoized).sum(),
+        memo: fold_memo(probe.iter()),
         mean_wall_nanos: mean_batch_nanos / histories.len().max(1) as u128,
         iterations,
         limit_hit: probe.iter().any(|r| !r.is_conclusive()),
@@ -206,6 +254,7 @@ fn measure_checker_reuse(workload: &str, histories: &[History<i64>], reuse: bool
         linearizable,
         states_explored: probe.iter().map(|r| r.stats().states_explored).sum(),
         states_memoized: probe.iter().map(|r| r.stats().states_memoized).sum(),
+        memo: fold_memo(probe.iter()),
         mean_wall_nanos: mean_corpus_nanos / histories.len().max(1) as u128,
         iterations,
         limit_hit: probe.iter().any(|r| !r.is_conclusive()),
@@ -223,6 +272,7 @@ fn measure_reference(workload: &str, history: &History<i64>) -> Row {
         linearizable,
         states_explored: 0, // the reference API reports no statistics
         states_memoized: 0,
+        memo: MemoStats::default(),
         mean_wall_nanos,
         iterations,
         limit_hit: false,
@@ -246,7 +296,7 @@ fn log_row(r: &Row) {
 fn checker_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     for &decisions in SINGLE_REGISTER_SIZES {
-        let history = lamport_workload(3, decisions, 7);
+        let history = lamport_workload(WORKLOAD_PROCESSES, decisions, WORKLOAD_SEED);
         let name = format!("lamport_history/{decisions}");
         let row = measure_engine(&name, &history);
         log_row(&row);
@@ -258,7 +308,7 @@ fn checker_rows() -> Vec<Row> {
         }
     }
     for &decisions in MULTI_REGISTER_SIZES {
-        let history = multi_register_workload(MULTI_REGISTERS, decisions, 7);
+        let history = multi_register_workload(MULTI_REGISTERS, decisions, WORKLOAD_SEED);
         let name = format!("multi_register_{MULTI_REGISTERS}x/{decisions}");
         let row = measure_engine(&name, &history);
         log_row(&row);
@@ -277,7 +327,7 @@ fn checker_rows() -> Vec<Row> {
             }
         }
         let batch: Vec<History<i64>> = (0..BATCH_SIZE)
-            .map(|s| multi_register_workload(MULTI_REGISTERS, decisions, 7 + s))
+            .map(|s| multi_register_workload(MULTI_REGISTERS, decisions, WORKLOAD_SEED + s))
             .collect();
         for &threads in THREAD_COUNTS {
             let row = measure_engine_batch(&name, &batch, threads);
@@ -285,10 +335,17 @@ fn checker_rows() -> Vec<Row> {
             rows.push(row);
         }
     }
-    let corpus = small_history_corpus(REUSE_CORPUS, REUSE_MAX_OPS, 2, 42);
+    let corpus = small_history_corpus(REUSE_CORPUS, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED);
     let name = format!("small_history_corpus/{REUSE_CORPUS}");
     for reuse in [true, false] {
         let row = measure_checker_reuse(&name, &corpus, reuse);
+        log_row(&row);
+        rows.push(row);
+    }
+    let history = distinct_value_workload(DISTINCT_VALUE_OPS, DISTINCT_VALUE_BURST, WORKLOAD_SEED);
+    let name = format!("distinct_value_register/{DISTINCT_VALUE_OPS}");
+    for &threads in THREAD_COUNTS {
+        let row = measure_memo_arena(&name, &history, threads);
         log_row(&row);
         rows.push(row);
     }
@@ -305,7 +362,8 @@ fn write_checkers_json(rows: &[Row], out_path: &str) {
             json,
             "    {{\"checker\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \
              \"threads\": {}, \"linearizable\": {}, \"states_explored\": {}, \
-             \"states_memoized\": {}, \"mean_wall_nanos\": {}, \"iterations\": {}, \
+             \"states_memoized\": {}, \"memo_probes\": {}, \"memo_hits\": {}, \
+             \"memo_arena_hwm\": {}, \"mean_wall_nanos\": {}, \"iterations\": {}, \
              \"limit_hit\": {}}}{}",
             r.checker,
             r.workload,
@@ -314,6 +372,9 @@ fn write_checkers_json(rows: &[Row], out_path: &str) {
             r.linearizable,
             r.states_explored,
             r.states_memoized,
+            r.memo.probes,
+            r.memo.hits,
+            r.memo.arena_high_water,
             r.mean_wall_nanos,
             r.iterations,
             r.limit_hit,

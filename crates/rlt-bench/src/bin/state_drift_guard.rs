@@ -1,0 +1,180 @@
+//! CI guard against silent search-semantics drift.
+//!
+//! `BENCH_checkers.json` tracks two kinds of numbers: wall-clock measurements (which
+//! legitimately move between hosts and PRs) and the **deterministic search
+//! counters** — `states_explored` / `states_memoized` — which are part of the
+//! engine's canonical semantics and must only change when a PR *intentionally*
+//! changes what the search explores. A perf refactor that accidentally perturbs the
+//! search (a reordered candidate scan, a broken memo key, a shard-geometry change)
+//! would historically have shown up only as a mysteriously shifted counter in a
+//! regenerated JSON, easy to wave through.
+//!
+//! This bin recomputes the counters of every tracked deterministic row — the
+//! workload geometry comes from [`rlt_bench::tracked`], the same constants
+//! `checkers_summary` measures with — and diffs them against the tracked JSON,
+//! failing loudly on any mismatch. Thread policy cannot matter (the engine is
+//! bit-identical across widths), so CI runs the guard under more than one
+//! `RLT_THREADS` to double as a determinism check.
+//!
+//! Usage: `cargo run --release -p rlt-bench --bin state_drift_guard \
+//!     [BENCH_checkers.json]`
+
+use rlt_bench::tracked::{
+    BATCH_SIZE, DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, MEMO_ARENA_SPLIT_THRESHOLD,
+    MULTI_REGISTERS, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED, WORKLOAD_PROCESSES, WORKLOAD_SEED,
+};
+use rlt_bench::{
+    distinct_value_workload, lamport_workload, multi_register_workload, small_history_corpus,
+};
+use rlt_spec::{Checker, History, ThreadPolicy};
+use std::collections::HashMap;
+
+/// Extracts the string value of `"key": "..."` from one JSON row line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts the numeric value of `"key": N` from one JSON row line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// Recomputation runs under [`ThreadPolicy::Auto`] deliberately: the counters are
+/// defined to be identical at any pool width, so running the guard under different
+/// `RLT_THREADS` (as CI does) exercises the parallel replay paths too.
+fn ambient_checker() -> Checker<i64> {
+    Checker::builder(0i64).threads(ThreadPolicy::Auto).build()
+}
+
+fn count_one(checker: &Checker<i64>, history: &History<i64>) -> (u64, u64) {
+    let stats = checker.check(history).stats();
+    (stats.states_explored, stats.states_memoized)
+}
+
+fn count_sum(checker: &Checker<i64>, histories: &[History<i64>]) -> (u64, u64) {
+    histories.iter().fold((0, 0), |(e, m), h| {
+        let stats = checker.check(h).stats();
+        (e + stats.states_explored, m + stats.states_memoized)
+    })
+}
+
+/// Recomputes the deterministic counters of one tracked row kind, or `None` for rows
+/// without deterministic counters (the pre-engine `reference` checker reports none)
+/// or unknown workloads (reported as drift by the caller).
+fn recompute(checker: &str, workload: &str) -> Option<(u64, u64)> {
+    let size: usize = workload.rsplit('/').next()?.parse().ok()?;
+    let series = workload.split('/').next()?;
+    match (checker, series) {
+        ("engine" | "engine_parallel", "lamport_history") => Some(count_one(
+            &ambient_checker(),
+            &lamport_workload(WORKLOAD_PROCESSES, size, WORKLOAD_SEED),
+        )),
+        ("engine" | "engine_parallel", _)
+            if series == format!("multi_register_{MULTI_REGISTERS}x") =>
+        {
+            Some(count_one(
+                &ambient_checker(),
+                &multi_register_workload(MULTI_REGISTERS, size, WORKLOAD_SEED),
+            ))
+        }
+        ("engine_batch", _) => {
+            let batch: Vec<History<i64>> = (0..BATCH_SIZE)
+                .map(|s| multi_register_workload(MULTI_REGISTERS, size, WORKLOAD_SEED + s))
+                .collect();
+            Some(count_sum(&ambient_checker(), &batch))
+        }
+        ("checker_reused" | "checker_fresh", "small_history_corpus") => Some(count_sum(
+            &ambient_checker(),
+            &small_history_corpus(size, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED),
+        )),
+        ("memo_arena", "distinct_value_register") => {
+            let checker = Checker::builder(0i64)
+                .threads(ThreadPolicy::Auto)
+                .split_threshold(MEMO_ARENA_SPLIT_THRESHOLD)
+                .build();
+            assert_eq!(size, DISTINCT_VALUE_OPS, "tracked memo_arena workload size");
+            Some(count_one(
+                &checker,
+                &distinct_value_workload(DISTINCT_VALUE_OPS, DISTINCT_VALUE_BURST, WORKLOAD_SEED),
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_checkers.json".into());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read tracked summary {path}: {e}"));
+    let mut cache: HashMap<(String, String), Option<(u64, u64)>> = HashMap::new();
+    let mut verified = 0usize;
+    let mut skipped = 0usize;
+    let mut drifted = 0usize;
+    for line in text.lines().filter(|l| l.contains("\"checker\"")) {
+        let checker = field_str(line, "checker").expect("row has a checker field");
+        if checker == "reference" {
+            skipped += 1; // the reference API reports no statistics
+            continue;
+        }
+        let workload = field_str(line, "workload").expect("row has a workload field");
+        let tracked = (
+            field_u64(line, "states_explored").expect("row has states_explored"),
+            field_u64(line, "states_memoized").expect("row has states_memoized"),
+        );
+        // engine and engine_parallel rows share one recomputation (thread policy is
+        // unobservable); key the cache by the recompute class, not the row label.
+        let class = if checker == "engine_parallel" {
+            "engine"
+        } else if checker == "checker_fresh" {
+            "checker_reused"
+        } else {
+            checker
+        };
+        let key = (class.to_string(), workload.to_string());
+        let recomputed = cache
+            .entry(key)
+            .or_insert_with(|| recompute(checker, workload));
+        match recomputed {
+            Some(counters) if *counters == tracked => verified += 1,
+            Some((explored, memoized)) => {
+                drifted += 1;
+                eprintln!(
+                    "DRIFT {checker} {workload}: tracked explored/memoized \
+                     {}/{} but the engine now computes {explored}/{memoized}",
+                    tracked.0, tracked.1
+                );
+            }
+            None => {
+                drifted += 1;
+                eprintln!("DRIFT {checker} {workload}: unknown tracked row kind");
+            }
+        }
+    }
+    assert!(
+        verified > 0,
+        "no deterministic rows found in {path} — wrong file?"
+    );
+    eprintln!(
+        "state drift guard: {verified} rows verified, {skipped} skipped (no stats), \
+         {drifted} drifted"
+    );
+    if drifted > 0 {
+        eprintln!(
+            "search counters moved: if intentional, regenerate BENCH_checkers.json \
+             with checkers_summary in this commit and say why in EXPERIMENTS.md"
+        );
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,43 @@ use rlt_registers::algorithm4::LamportSim;
 use rlt_registers::schedule::{random_run, MwmrStepSim, WorkloadParams};
 use rlt_spec::{History, HistoryBuilder, OpId, Operation, ProcessId, RegisterId};
 
+/// Parameters of the tracked `BENCH_checkers.json` workloads, shared by
+/// `checkers_summary` (which measures them) and `state_drift_guard` (which
+/// recomputes their deterministic state counters in CI). Changing any of these
+/// redefines what the tracked rows mean — regenerate the JSON in the same commit.
+pub mod tracked {
+    /// Seed of the single-history workloads (`lamport_history`,
+    /// `multi_register_3x`, `distinct_value_register`).
+    pub const WORKLOAD_SEED: u64 = 7;
+    /// Simulated processes in the Lamport workloads.
+    pub const WORKLOAD_PROCESSES: usize = 3;
+    /// Registers in the multi-register series.
+    pub const MULTI_REGISTERS: usize = 3;
+    /// Histories per `engine_batch` row (seeds `WORKLOAD_SEED..+BATCH_SIZE`).
+    pub const BATCH_SIZE: u64 = 16;
+    /// Histories in the `checker_reused` / `checker_fresh` corpus.
+    pub const REUSE_CORPUS: usize = 256;
+    /// Max operations per history in the scratch-reuse corpus: small enough that
+    /// allocation is a visible fraction of check time, concurrent enough that the
+    /// memo table sees real traffic (reuse keeps its grown capacity warm).
+    pub const REUSE_MAX_OPS: usize = 14;
+    /// Registers in the scratch-reuse corpus.
+    pub const REUSE_REGISTERS: usize = 2;
+    /// Seed of the scratch-reuse corpus.
+    pub const REUSE_SEED: u64 = 42;
+    /// Operations in the `memo_arena` large-key workload: past 64 ops the taken
+    /// bitset spans two words, so every memo key takes the skip-compacted
+    /// multi-word path.
+    pub const DISTINCT_VALUE_OPS: usize = 112;
+    /// Concurrent writes per burst of the `memo_arena` workload — also its root DFS
+    /// frontier, so the split threshold below shards the search.
+    pub const DISTINCT_VALUE_BURST: usize = 8;
+    /// Split threshold of the `memo_arena` rows: at or below the burst size, so the
+    /// within-register subtree split engages (the threshold is part of the
+    /// canonical search semantics, so the guard must recompute with it).
+    pub const MEMO_ARENA_SPLIT_THRESHOLD: u32 = 8;
+}
+
 /// Builds an Algorithm 2 trace from a seeded random workload (used by the checker
 /// benchmarks so the workload generation is not measured).
 #[must_use]
@@ -77,6 +114,50 @@ pub fn multi_register_workload(k: usize, decisions: usize, seed: u64) -> History
         }
     }
     History::from_operations(ops)
+}
+
+/// A linearizable single-register history that actually exercises the engine's
+/// *large-key* memo path and its within-register sharding: `ops` completed
+/// operations (well past the 64 that fit a one-word taken bitset) in bursts of
+/// `burst` mutually concurrent writes — every write carrying a globally **distinct**
+/// value — each burst followed by a read that pins a seeded-random burst member as
+/// the last write.
+///
+/// The read makes the witness search genuinely permute each burst (backtracking and
+/// memo hits over multi-word keys), the distinct values keep the interning table at
+/// one id per write, and the first burst *is* the root DFS frontier, so a split
+/// threshold at or below `burst` shards the search. Linearizable by construction:
+/// order each burst with the read's value last. Used by the `memo_arena` rows of
+/// `BENCH_checkers.json` and the drift guard.
+#[must_use]
+pub fn distinct_value_workload(ops: usize, burst: usize, seed: u64) -> History<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b: HistoryBuilder<i64> = HistoryBuilder::new();
+    let mut value = 0i64;
+    let mut emitted = 0usize;
+    while emitted < ops {
+        let size = burst.max(1).min(ops - emitted);
+        // One process per burst member: a sequential process cannot have two
+        // operations pending at once, so the mutually concurrent writes must all
+        // come from distinct processes (the reader gets an id above any writer's —
+        // it never overlaps them anyway, responding before the next burst starts).
+        let ids: Vec<(OpId, i64)> = (0..size)
+            .map(|j| {
+                value += 1;
+                (b.invoke_write(ProcessId(j), RegisterId(0), value), value)
+            })
+            .collect();
+        for (id, _) in &ids {
+            b.respond_write(*id);
+        }
+        emitted += size;
+        if emitted < ops {
+            let (_, pinned) = ids[rng.gen_range(0..ids.len())];
+            b.read(ProcessId(ops), RegisterId(0), pinned);
+            emitted += 1;
+        }
+    }
+    b.build()
 }
 
 /// A corpus of small seeded well-formed histories (the differential-suite shape:
@@ -141,6 +222,21 @@ mod tests {
         assert!(!sim.history().is_empty());
         let h = lamport_workload(3, 30, 1);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn distinct_value_workload_is_linearizable_with_large_keys() {
+        let h = distinct_value_workload(112, 12, 7);
+        assert_eq!(h.len(), 112, "keys must span more than one taken word");
+        let verdict = rlt_spec::Checker::builder(0i64)
+            .threads(rlt_spec::ThreadPolicy::Sequential)
+            .build()
+            .check(&h);
+        assert!(verdict.is_linearizable());
+        assert!(
+            verdict.stats().memo.arena_high_water > 0,
+            "the large-key arena must see traffic"
+        );
     }
 
     #[test]

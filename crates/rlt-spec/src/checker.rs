@@ -27,7 +27,10 @@
 //! exposed as the *streaming* [`Checker::linearizations`] iterator, which runs the
 //! underlying search exactly as far as the consumer pulls.
 
-use crate::engine::{Engine, EnumerationLimitExceeded, Linearizations, ScratchPool};
+use crate::engine::{
+    Engine, EnumerationLimitExceeded, Linearizations, MemoStats, ScratchPool,
+    DEFAULT_SPLIT_THRESHOLD,
+};
 use crate::history::History;
 use crate::linearizability::{DEFAULT_ENUMERATION_WORK_LIMIT, DEFAULT_STATE_LIMIT};
 use crate::op::Operation;
@@ -63,6 +66,10 @@ pub struct CheckStats {
     /// Enumeration nodes visited (zero for plain witness checks; populated by
     /// enumeration-backed checks such as [`crate::ExtensionFamily`]).
     pub enumeration_nodes: u64,
+    /// Memo-table counters of the check: slot probes, hits, and the arena high-water
+    /// mark. Deterministic like every other statistic — bit-identical across thread
+    /// policies, pool widths, and scratch reuse.
+    pub memo: MemoStats,
 }
 
 /// Why a check could not reach a conclusive verdict.
@@ -177,6 +184,7 @@ pub struct CheckerBuilder<V> {
     threads: ThreadPolicy,
     witness: bool,
     scratch_reuse: bool,
+    split_threshold: u32,
 }
 
 impl<V: RegisterValue> CheckerBuilder<V> {
@@ -226,6 +234,23 @@ impl<V: RegisterValue> CheckerBuilder<V> {
         self
     }
 
+    /// Root-frontier size at which a single register's witness search is split into
+    /// shards and (under a multi-thread policy) fanned across the pool — the
+    /// within-register counterpart of per-register composition. Default:
+    /// [`DEFAULT_SPLIT_THRESHOLD`], which is above the concurrency of typical
+    /// histories; lower it for workloads with wide open concurrency in one register.
+    /// The threshold is part of the canonical search semantics: it can change the
+    /// statistics (a sharded sweep may explore more states than the plain DFS, so
+    /// under a tight [`CheckerBuilder::state_budget`] a conclusive check can become
+    /// inconclusive), but a conclusive verdict and its witness are
+    /// threshold-independent — and at any fixed value results remain bit-identical
+    /// across thread policies and pool widths.
+    #[must_use]
+    pub fn split_threshold(mut self, frontier_ops: u32) -> Self {
+        self.split_threshold = frontier_ops;
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> Checker<V> {
@@ -236,6 +261,7 @@ impl<V: RegisterValue> CheckerBuilder<V> {
             threads: self.threads,
             witness: self.witness,
             scratch_reuse: self.scratch_reuse,
+            split_threshold: self.split_threshold,
             scratch: ScratchPool::new(),
             pool: OnceLock::new(),
         }
@@ -262,6 +288,7 @@ pub struct Checker<V> {
     threads: ThreadPolicy,
     witness: bool,
     scratch_reuse: bool,
+    split_threshold: u32,
     scratch: ScratchPool,
     pool: OnceLock<rayon::ThreadPool>,
 }
@@ -284,6 +311,7 @@ impl<V: RegisterValue> Checker<V> {
             threads: ThreadPolicy::Auto,
             witness: true,
             scratch_reuse: true,
+            split_threshold: DEFAULT_SPLIT_THRESHOLD,
         }
     }
 
@@ -379,7 +407,7 @@ impl<V: RegisterValue> Checker<V> {
         } else {
             &fresh
         };
-        let engine = Engine::new(history, &self.init);
+        let engine = Engine::new(history, &self.init).with_split_threshold(self.split_threshold);
         let outcome = match self.threads {
             ThreadPolicy::Sequential => engine.check_sequential_with(self.state_budget, scratch),
             _ => engine.check_with(self.state_budget, scratch),
@@ -405,6 +433,7 @@ impl<V: RegisterValue> Checker<V> {
                 states_explored: outcome.states_explored,
                 states_memoized: outcome.states_memoized,
                 enumeration_nodes: 0,
+                memo: outcome.memo,
             },
         )
     }
@@ -551,6 +580,60 @@ mod tests {
                 assert_eq!(batch[i], checker.check(h), "{policy:?} history {i}");
             }
         }
+    }
+
+    #[test]
+    fn memo_stats_are_reported_and_reuse_invisible() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..4 {
+            let id = b.invoke_write(ProcessId(i), R, i as i64 + 1);
+            b.respond_write(id);
+        }
+        b.read(ProcessId(5), R, 1i64);
+        let h = b.build();
+        let warm = Checker::new(0i64);
+        let first = warm.check(&h);
+        let memo = first.stats().memo;
+        assert!(
+            memo.probes > 0,
+            "every explored state probes the memo table"
+        );
+        assert!(memo.arena_high_water > 0);
+        assert_eq!(
+            memo.hits,
+            first.stats().states_memoized,
+            "plain witness checks prune exactly once per hit"
+        );
+        // A second check through the same (now warm) session and a cold checker must
+        // report bit-identical stats: the memo table's logical geometry is
+        // deterministic, so probe counts cannot depend on buffer warmth.
+        assert_eq!(warm.check(&h).stats(), first.stats());
+        let cold = Checker::builder(0i64).scratch_reuse(false).build();
+        assert_eq!(cold.check(&h).stats(), first.stats());
+    }
+
+    #[test]
+    fn split_threshold_changes_stats_never_verdicts() {
+        let mut b = HistoryBuilder::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.invoke_write(ProcessId(i), R, i as i64 + 1))
+            .collect();
+        for id in ids {
+            b.respond_write(id);
+        }
+        b.read(ProcessId(7), R, 3i64);
+        let h = b.build();
+        let default = Checker::new(0i64).check(&h);
+        let split = Checker::builder(0i64).split_threshold(2).build().check(&h);
+        assert_eq!(split.outcome(), default.outcome());
+        assert_eq!(
+            split.witness().map(SeqHistory::op_ids),
+            default.witness().map(SeqHistory::op_ids),
+            "sharding must find the same first witness as the plain DFS"
+        );
+        // The sharded sweep re-explores the root per shard and drops cross-shard
+        // memo sharing, so its statistics legitimately differ.
+        assert!(split.stats().states_explored >= default.stats().states_explored);
     }
 
     #[test]

@@ -52,13 +52,58 @@
 //!    impossible, so that case falls back to the joint DFS (lazily bounded by
 //!    `max_results`, like the pre-product enumerator); total work stays within 2x
 //!    the cap.
+//!
+//! # The memo arena
+//!
+//! Visited configurations are memoized in a single open-addressed table
+//! (`MemoTable` inside [`SearchScratch`]) whose variable-length keys live in a bump
+//! arena of `u64` words — no `Box<[u64]>` allocation per insert, no hashbrown control
+//! machinery, and scratch reuse keeps both the arena and the slot array warm across
+//! searches (cleared by truncation / generation bump, not by freeing).
+//!
+//! **Key layout.** A configuration is `(taken, vals)`: the taken bitset (one `u64`
+//! word per 64 ops) and the interned register state (two `u32` slot values packed per
+//! word). Subproblems whose bitset fits one word pack as `[taken₀, vals…]`; wider
+//! bitsets pack as `[skip, taken[skip..], vals…]`, where `skip` counts the leading
+//! all-ones taken words dropped by **prefix compaction**: once a maximal prefix of
+//! the sub-history is fully linearized, those words carry no information beyond their
+//! count, so deep search states — the bulk of a long history's memo traffic — hash
+//! and compare strictly fewer words. The skip word keeps packing injective (distinct
+//! configurations never collide as key word sequences; the round-trip property test
+//! pins this), so compaction changes key bytes, never memo semantics.
+//!
+//! **Table mechanics.** Slots are one `u64` each: an 8-bit generation tag (a cleared
+//! table just bumps the generation instead of zeroing), a 16-bit hash fingerprint,
+//! and a 40-bit arena offset. Probing is linear over a power-of-two slot array,
+//! growth doubles at 7/8 load and rehashes from the arena, and the per-search initial
+//! size is a deterministic function of the subproblem (never of warm capacity), so
+//! the reported [`MemoStats`] — slot probes, hits, arena high-water — are
+//! bit-identical whether the scratch is cold or reused.
+//!
+//! # Within-register sharding
+//!
+//! Per-register composition (4.) parallelizes *across* registers; one hot register
+//! still searches alone. When a register's root DFS frontier (its Wing–Gong
+//! candidates at the empty configuration) reaches the engine's
+//! [split threshold](Engine::with_split_threshold), the search is partitioned into a
+//! fixed number of shards — contiguous ranges of the root candidate scan, each a
+//! complete DFS over "linearizations starting in my range" with its own memo table.
+//! The *canonical* ([`Engine::check_sequential`]) semantics runs the shards in
+//! ascending range order under the shared state budget, stopping at the first
+//! witness; the parallel path runs them speculatively fork-join, each with a private
+//! full budget, then **replays** the sequential budget accounting over the per-shard
+//! statistics in shard order — exactly the scheme the per-register fan-out uses — so
+//! verdict, witness, and every statistic (including [`MemoStats`]) are bit-identical
+//! to `check_sequential` at any thread count, with a sequential rerun whenever the
+//! replay detects the shared budget would have run dry. Shard geometry depends only
+//! on the subproblem and the threshold, never on the pool width.
 
 use crate::history::History;
 use crate::ids::{OpId, RegisterId, Time};
 use crate::op::{OpKind, Operation};
 use crate::sequential::SeqHistory;
 use crate::value::RegisterValue;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::OnceLock;
 
@@ -122,6 +167,79 @@ impl Hasher for FastHasher {
 /// `BuildHasher` for [`FastHasher`].
 pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 
+/// Distinct values below which the interner stays a linear-scanned dense list.
+const INTERN_LINEAR_MAX: usize = 16;
+
+/// Dense value interner. Ids are assigned in insertion order (the initial value is
+/// always id 0). Small value sets — the overwhelmingly common case: a differential
+/// corpus history touches a handful of values — are interned by linear scan over a
+/// dense list, paying neither a table allocation nor any hashing per check; past
+/// [`INTERN_LINEAR_MAX`] distinct values the interner spills into a hash map with
+/// identical id assignment.
+#[derive(Debug)]
+struct ValueInterner<'a, V> {
+    dense: Vec<&'a V>,
+    spill: Option<HashMap<&'a V, u32, FastBuildHasher>>,
+}
+
+impl<'a, V: RegisterValue> ValueInterner<'a, V> {
+    fn new() -> Self {
+        ValueInterner {
+            dense: Vec::new(),
+            spill: None,
+        }
+    }
+
+    /// Interns `v`, returning its dense id (allocating a fresh id on first sight).
+    fn intern(&mut self, v: &'a V) -> u32 {
+        if let Some(map) = &mut self.spill {
+            let next = map.len() as u32;
+            return *map.entry(v).or_insert(next);
+        }
+        if let Some(i) = self.dense.iter().position(|&seen| seen == v) {
+            return i as u32;
+        }
+        if self.dense.len() == INTERN_LINEAR_MAX {
+            let mut map: HashMap<&'a V, u32, FastBuildHasher> = HashMap::with_capacity_and_hasher(
+                2 * INTERN_LINEAR_MAX,
+                FastBuildHasher::default(),
+            );
+            for (i, &seen) in self.dense.iter().enumerate() {
+                map.insert(seen, i as u32);
+            }
+            let id = map.len() as u32;
+            map.insert(v, id);
+            self.spill = Some(map);
+            return id;
+        }
+        self.dense.push(v);
+        (self.dense.len() - 1) as u32
+    }
+
+    /// Id of an already-interned value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never interned.
+    fn get(&self, v: &V) -> u32 {
+        match &self.spill {
+            Some(map) => map[v],
+            None => self
+                .dense
+                .iter()
+                .position(|&seen| seen == v)
+                .expect("value was interned") as u32,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.spill {
+            Some(map) => map.len(),
+            None => self.dense.len(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Prepared subproblems
 // ---------------------------------------------------------------------------
@@ -169,7 +287,7 @@ impl SubProblem {
         ops: &[&Operation<V>],
         members: &[u32],
         slot_of_register: impl Fn(RegisterId) -> u32,
-        values: &HashMap<&V, u32, FastBuildHasher>,
+        values: &ValueInterner<'_, V>,
         init_id: u32,
         slots: usize,
     ) -> Self {
@@ -178,8 +296,8 @@ impl SubProblem {
             .map(|&g| {
                 let op = ops[g as usize];
                 let (is_write, value) = match &op.kind {
-                    OpKind::Write(v) => (true, values[v]),
-                    OpKind::Read(Some(v)) => (false, values[v]),
+                    OpKind::Write(v) => (true, values.get(v)),
+                    OpKind::Read(Some(v)) => (false, values.get(v)),
                     OpKind::Read(None) => unreachable!("pending reads are filtered out"),
                 };
                 LocalOp {
@@ -228,26 +346,6 @@ impl SubProblem {
         }
     }
 
-    /// `true` when the memo key fits in a `u128` (taken bits in one word, one slot).
-    #[inline]
-    fn small_keys(&self) -> bool {
-        self.words == 1 && self.slots == 1
-    }
-
-    /// Packs the taken bitset and register state into one boxed word slice (the general
-    /// memo key): `words` of taken bits followed by the slot values, two `u32`s per
-    /// word.
-    #[inline]
-    fn pack_key(&self, taken: &[u64], vals: &[u32]) -> Box<[u64]> {
-        let mut key = Vec::with_capacity(taken.len() + vals.len().div_ceil(2));
-        key.extend_from_slice(taken);
-        for pair in vals.chunks(2) {
-            let hi = pair.get(1).copied().unwrap_or(0);
-            key.push(u64::from(pair[0]) | (u64::from(hi) << 32));
-        }
-        key.into_boxed_slice()
-    }
-
     /// Returns `true` if every real-time predecessor of local op `i` is in `taken`.
     #[inline]
     fn preds_satisfied(&self, i: usize, taken: &[u64]) -> bool {
@@ -275,27 +373,361 @@ impl SubProblem {
 }
 
 // ---------------------------------------------------------------------------
+// The arena-backed memo table
+// ---------------------------------------------------------------------------
+
+/// Counters of the arena-backed memo table, reported per check on
+/// [`CheckOutcome`] (and surfaced as `CheckStats::memo` by the session API).
+///
+/// Like every other statistic, these are deterministic: bit-identical across thread
+/// policies, pool widths, and scratch reuse (the table's logical geometry is a
+/// function of the subproblem alone — see the module docs).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Open-addressing slot inspections across all memo lookups of the check.
+    pub probes: u64,
+    /// Lookups that found the configuration already memoized (each one prunes a
+    /// search subtree; equals `states_memoized` for plain witness checks).
+    pub hits: u64,
+    /// High-water mark of memo-key words resident in any single sub-search's arena.
+    pub arena_high_water: u64,
+}
+
+impl MemoStats {
+    #[inline]
+    fn absorb(&mut self, other: &MemoStats) {
+        self.probes += other.probes;
+        self.hits += other.hits;
+        self.arena_high_water = self.arena_high_water.max(other.arena_high_water);
+    }
+}
+
+/// Slot layout: `generation (8) | fingerprint (16) | arena offset + 1 (40)`.
+const SLOT_GEN_SHIFT: u32 = 56;
+const SLOT_FP_SHIFT: u32 = 40;
+const SLOT_FP_MASK: u64 = 0xFFFF;
+const SLOT_OFF_MASK: u64 = (1 << SLOT_FP_SHIFT) - 1;
+
+/// Packs a `(taken, vals)` configuration into `out` in the arena key format (see the
+/// module docs): multi-word taken sets get a leading skip word counting the all-ones
+/// prefix words dropped by compaction (`compact = false` forces skip 0 and keeps
+/// every word — used to prove compaction is semantics-free), single-word sets are
+/// stored bare; slot values follow, packed two per word.
+fn write_key(out: &mut Vec<u64>, taken: &[u64], vals: &[u32], compact: bool) {
+    debug_assert!(!taken.is_empty() && !vals.is_empty());
+    if taken.len() > 1 {
+        let skip = if compact {
+            taken.iter().take_while(|&&w| w == u64::MAX).count()
+        } else {
+            0
+        };
+        out.push(skip as u64);
+        out.extend_from_slice(&taken[skip..]);
+    } else {
+        out.push(taken[0]);
+    }
+    let mut pairs = vals.chunks_exact(2);
+    for p in pairs.by_ref() {
+        out.push(u64::from(p[0]) | (u64::from(p[1]) << 32));
+    }
+    if let [last] = pairs.remainder() {
+        out.push(u64::from(*last));
+    }
+}
+
+/// One round of the [`FastHasher`] mix, exposed for the memo table's register-only
+/// fast path (which must hash exactly like [`hash_words`] so growth rehashes agree).
+#[inline]
+fn fx_mix(h: u64, word: u64) -> u64 {
+    (h ^ word).rotate_left(5).wrapping_mul(FAST_SEED)
+}
+
+/// Mixes a key's words with the [`FastHasher`] rounds and spreads the result so both
+/// the low bits (slot index) and the high bits (fingerprint) carry entropy.
+#[inline]
+fn hash_words(words: &[u64]) -> u64 {
+    let hash = words.iter().fold(0u64, |h, &w| fx_mix(h, w));
+    hash ^ (hash >> 32)
+}
+
+/// The open-addressed memo table: variable-length keys in a `u64` bump arena,
+/// one-word slots, linear probing over a power-of-two slot array. Cleared per search
+/// by truncating the arena and bumping the slot generation — no per-insert
+/// allocation, and a warm table's buffers are reused byte-for-byte.
+#[derive(Debug)]
+struct MemoTable {
+    /// Bump arena of key words; cleared by truncation on `begin`.
+    arena: Vec<u64>,
+    /// Physical slot array; the logical table is `slots[..mask + 1]`.
+    slots: Vec<u64>,
+    /// Scratch copy of the logical slots during growth rehashes.
+    spare: Vec<u64>,
+    mask: usize,
+    len: usize,
+    grow_at: usize,
+    /// Rolling 1..=255 tag marking live slots; a full zero-fill happens only on wrap.
+    generation: u64,
+    taken_words: usize,
+    vals_words: usize,
+    compact: bool,
+    /// Test hook proving compaction never changes verdicts or state counts.
+    compaction_enabled: bool,
+    probes: u64,
+    /// Physical buffer growths since construction — the scratch-reuse suite asserts
+    /// this stays flat across a warm batch.
+    reallocations: u64,
+}
+
+impl Default for MemoTable {
+    fn default() -> Self {
+        MemoTable {
+            arena: Vec::new(),
+            slots: Vec::new(),
+            spare: Vec::new(),
+            mask: 0,
+            len: 0,
+            grow_at: 0,
+            generation: 0,
+            taken_words: 1,
+            vals_words: 1,
+            compact: false,
+            compaction_enabled: true,
+            probes: 0,
+            reallocations: 0,
+        }
+    }
+}
+
+impl MemoTable {
+    /// Resets the table for one sub-search over keys of `taken_words` bitset words
+    /// and `slot_count` register slots. The logical size is a deterministic function
+    /// of `capacity_hint` so probe counts never depend on how warm the buffers are;
+    /// physical buffers only ever grow by the shortfall.
+    fn begin(&mut self, taken_words: usize, slot_count: usize, capacity_hint: usize) {
+        self.taken_words = taken_words.max(1);
+        self.vals_words = slot_count.div_ceil(2).max(1);
+        self.compact = self.compaction_enabled && taken_words > 1;
+        let size = (capacity_hint * 2).next_power_of_two().max(16);
+        if self.slots.len() < size {
+            if self.slots.capacity() < size {
+                self.reallocations += 1;
+            }
+            self.slots.resize(size, 0);
+        }
+        self.generation += 1;
+        if self.generation == 256 {
+            self.slots.fill(0);
+            self.generation = 1;
+        }
+        self.mask = size - 1;
+        self.grow_at = size - size / 8;
+        self.len = 0;
+        self.arena.clear();
+        self.probes = 0;
+    }
+
+    /// Memoizes the configuration, returning `true` if it was not seen before in
+    /// this search. Keys are only appended to the arena on fresh inserts.
+    #[inline]
+    fn insert(&mut self, taken: &[u64], vals: &[u32]) -> bool {
+        if self.taken_words == 1 && self.vals_words == 1 {
+            // The dominant shape (every per-register search of a <= 64-op register):
+            // a two-word key handled entirely in registers, no tentative arena write.
+            let packed_vals = if vals.len() == 1 {
+                u64::from(vals[0])
+            } else {
+                u64::from(vals[0]) | (u64::from(vals[1]) << 32)
+            };
+            self.insert_small(taken[0], packed_vals)
+        } else {
+            self.insert_general(taken, vals)
+        }
+    }
+
+    /// Two-word-key fast path; bit-compatible with [`MemoTable::insert_general`]
+    /// (same hash sequence as [`hash_words`] over `[w0, w1]`, so [`MemoTable::grow`]
+    /// rehashes both kinds of entry identically).
+    #[inline]
+    fn insert_small(&mut self, w0: u64, w1: u64) -> bool {
+        let h = fx_mix(fx_mix(0, w0), w1);
+        let hash = h ^ (h >> 32);
+        let fp = (hash >> 48) & SLOT_FP_MASK;
+        let gen = self.generation;
+        // Deriving the mask from the logical slice's own length lets the bounds
+        // checks in the probe loop be elided (`idx & mask` is provably in range).
+        let slots = &mut self.slots[..self.mask + 1];
+        let mask = slots.len() - 1;
+        let mut idx = hash as usize & mask;
+        let mut probes = 1u64;
+        let fresh = loop {
+            let slot = slots[idx];
+            if slot >> SLOT_GEN_SHIFT != gen {
+                let off = self.arena.len();
+                if self.arena.capacity() - off < 2 {
+                    self.reallocations += 1;
+                    self.arena.reserve(self.arena.capacity().max(64));
+                }
+                debug_assert!(
+                    (off as u64) < SLOT_OFF_MASK,
+                    "memo arena exceeds 2^40 words"
+                );
+                self.arena.push(w0);
+                self.arena.push(w1);
+                slots[idx] = (gen << SLOT_GEN_SHIFT) | (fp << SLOT_FP_SHIFT) | (off as u64 + 1);
+                break true;
+            }
+            if (slot >> SLOT_FP_SHIFT) & SLOT_FP_MASK == fp {
+                let o = (slot & SLOT_OFF_MASK) as usize - 1;
+                if self.arena[o] == w0 && self.arena[o + 1] == w1 {
+                    break false;
+                }
+            }
+            idx = (idx + 1) & mask;
+            probes += 1;
+        };
+        self.probes += probes;
+        if fresh {
+            self.len += 1;
+            if self.len >= self.grow_at {
+                self.grow();
+            }
+        }
+        fresh
+    }
+
+    /// General variable-length-key path (multi-word taken bitsets and the joint
+    /// multi-slot subproblem): the key is written at the arena tip, hashed from
+    /// there, and truncated away again on a hit.
+    fn insert_general(&mut self, taken: &[u64], vals: &[u32]) -> bool {
+        let off = self.arena.len();
+        let max_len = 1 + self.taken_words + self.vals_words;
+        if self.arena.capacity() - off < max_len {
+            self.reallocations += 1;
+            self.arena.reserve(self.arena.capacity().max(64));
+        }
+        debug_assert!(
+            (off as u64) < SLOT_OFF_MASK,
+            "memo arena exceeds 2^40 words"
+        );
+        write_key(&mut self.arena, taken, vals, self.compact);
+        let len = self.arena.len() - off;
+        let hash = hash_words(&self.arena[off..off + len]);
+        let fp = (hash >> 48) & SLOT_FP_MASK;
+        let gen = self.generation;
+        let slots = &mut self.slots[..self.mask + 1];
+        let mask = slots.len() - 1;
+        let mut idx = hash as usize & mask;
+        let mut probes = 1u64;
+        let fresh = loop {
+            let slot = slots[idx];
+            if slot >> SLOT_GEN_SHIFT != gen {
+                slots[idx] = (gen << SLOT_GEN_SHIFT) | (fp << SLOT_FP_SHIFT) | (off as u64 + 1);
+                break true;
+            }
+            if (slot >> SLOT_FP_SHIFT) & SLOT_FP_MASK == fp {
+                let o = (slot & SLOT_OFF_MASK) as usize - 1;
+                // `get` bounds the stored key: a shorter stored key differs in its
+                // first word (the skip count), so the failed compare is correct even
+                // when the slice would run past the arena tip.
+                if self
+                    .arena
+                    .get(o..o + len)
+                    .is_some_and(|k| k == &self.arena[off..off + len])
+                {
+                    self.arena.truncate(off);
+                    break false;
+                }
+            }
+            idx = (idx + 1) & mask;
+            probes += 1;
+        };
+        self.probes += probes;
+        if fresh {
+            self.len += 1;
+            if self.len >= self.grow_at {
+                self.grow();
+            }
+        }
+        fresh
+    }
+
+    /// Doubles the logical slot array and rehashes every live entry from the arena.
+    fn grow(&mut self) {
+        let old_size = self.mask + 1;
+        let new_size = old_size * 2;
+        let mut spare = std::mem::take(&mut self.spare);
+        if spare.capacity() < old_size {
+            self.reallocations += 1;
+        }
+        spare.clear();
+        spare.extend_from_slice(&self.slots[..old_size]);
+        if self.slots.len() < new_size {
+            if self.slots.capacity() < new_size {
+                self.reallocations += 1;
+            }
+            self.slots.resize(new_size, 0);
+        }
+        self.slots[..new_size].fill(0);
+        self.mask = new_size - 1;
+        self.grow_at = new_size - new_size / 8;
+        for &slot in &spare {
+            if slot >> SLOT_GEN_SHIFT != self.generation {
+                continue;
+            }
+            let off = (slot & SLOT_OFF_MASK) as usize - 1;
+            let len = self.key_len_at(off);
+            let hash = hash_words(&self.arena[off..off + len]);
+            let mut idx = hash as usize & self.mask;
+            while self.slots[idx] >> SLOT_GEN_SHIFT == self.generation {
+                idx = (idx + 1) & self.mask;
+            }
+            self.slots[idx] = slot;
+        }
+        self.spare = spare;
+    }
+
+    /// Length in words of the key stored at `off`, recovered from the skip word (the
+    /// per-search key geometry is fixed otherwise).
+    fn key_len_at(&self, off: usize) -> usize {
+        if self.taken_words > 1 {
+            let skip = self.arena[off] as usize;
+            1 + (self.taken_words - skip) + self.vals_words
+        } else {
+            1 + self.vals_words
+        }
+    }
+
+    /// Drains the per-search counters into `stats`. The arena high-water mark is
+    /// simply the arena length at drain time: kept keys only ever accumulate within
+    /// one search (hit lookups append nothing and tentative keys are truncated), so
+    /// the final length *is* the search's maximum.
+    fn drain_into(&self, stats: &mut SearchStats) {
+        stats.memo.probes += self.probes;
+        stats.memo.arena_high_water = stats.memo.arena_high_water.max(self.arena.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reusable search scratch
 // ---------------------------------------------------------------------------
 
 /// Reusable buffers of one witness search: the taken bitset, the simulated register
-/// state, the partial linearization order, the explicit DFS frame stack, and the memo
-/// tables (a packed-`u128` set for subproblems whose key fits in one taken-word plus
-/// one slot value — the common per-register case, zero allocations per node — and a
-/// boxed-word-slice set otherwise).
+/// state, the partial linearization order, the explicit DFS frame stack, and the
+/// arena-backed memo table (open addressing over packed keys in a `u64` bump arena —
+/// zero allocations per node; see the module docs for the layout).
 ///
 /// A fresh `SearchScratch` is just empty buffers; reusing one across searches keeps
-/// the allocations (and the memo tables' grown hash capacity) warm. Scratch contents
-/// never influence results — every buffer is reset on entry — so reuse is invisible
-/// to verdicts, witnesses, and statistics.
+/// the allocations (arena, slot array, stack) warm. Scratch contents never influence
+/// results — every buffer is reset on entry and the memo table's logical geometry is
+/// deterministic — so reuse is invisible to verdicts, witnesses, and statistics,
+/// memo probe counts included.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
     taken: Vec<u64>,
     vals: Vec<u32>,
     order: Vec<u32>,
     stack: Vec<Frame>,
-    memo_small: HashSet<u128, FastBuildHasher>,
-    memo_large: HashSet<Box<[u64]>, FastBuildHasher>,
+    memo: MemoTable,
 }
 
 /// A shared pool of [`SearchScratch`] arenas.
@@ -342,13 +774,17 @@ impl ScratchPool {
 // ---------------------------------------------------------------------------
 
 /// A frame of the explicit DFS stack. The frame owns the op that was applied to enter
-/// it (`creator`, `NO_OP` for the root) and lazily scans candidates from `scan`.
+/// it (`creator`, `NO_OP` for the root) and lazily scans candidates from `scan` up to
+/// `end` — `n` for every frame except a sharded search's root, whose scan is
+/// restricted to its shard's candidate range (carrying the bound in the frame keeps
+/// the hot scan loop free of a root-or-not branch).
 #[derive(Debug, Clone, Copy)]
 struct Frame {
     creator: u32,
     /// Value of the creator's slot before the creator was applied (writes only).
     restore: u32,
     scan: u32,
+    end: u32,
 }
 
 const NO_OP: u32 = u32::MAX;
@@ -359,18 +795,43 @@ struct SearchStats {
     states_explored: u64,
     states_memoized: u64,
     limit_hit: bool,
+    memo: MemoStats,
 }
 
-/// Depth-first search for a single witness over `sub`, memoized on packed
+impl SearchStats {
+    /// Folds another sub-search's statistics in (the sequential accounting the
+    /// parallel replays reproduce); `limit_hit` is handled by the callers.
+    fn absorb(&mut self, other: &SearchStats) {
+        self.states_explored += other.states_explored;
+        self.states_memoized += other.states_memoized;
+        self.memo.absorb(&other.memo);
+    }
+}
+
+/// Depth-first search for a single witness over `sub`, memoized on arena-packed
 /// `(taken, state)` keys. `budget` is shared across sub-searches so the global
 /// state-limit semantics match the original joint checker. All working buffers live
 /// in `scratch`, reset on entry — reuse across searches is invisible to results.
+fn search_witness(
+    sub: &SubProblem,
+    budget: &mut u64,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> Option<Vec<u32>> {
+    search_witness_range(sub, 0..sub.ops.len() as u32, budget, stats, scratch)
+}
+
+/// [`search_witness`] with the **root** candidate scan restricted to
+/// `root.start..root.end` — the building block of within-register sharding: shards
+/// are contiguous root ranges, and the full search is the `0..n` range. Frames below
+/// the root always scan every op.
 ///
 /// The apply/undo frame bookkeeping here is mirrored in [`OrderWalk`] (which differs
 /// only in success handling and the absence of memoization); a fix to either driver
 /// almost certainly belongs in both.
-fn search_witness(
+fn search_witness_range(
     sub: &SubProblem,
+    root: std::ops::Range<u32>,
     budget: &mut u64,
     stats: &mut SearchStats,
     scratch: &mut SearchScratch,
@@ -382,8 +843,7 @@ fn search_witness(
         vals,
         order,
         stack,
-        memo_small,
-        memo_large,
+        memo,
     } = scratch;
     taken.clear();
     taken.resize(words, 0);
@@ -391,25 +851,20 @@ fn search_witness(
     vals.resize(sub.slots, sub.init_id);
     let mut taken_completed = 0usize;
     order.clear();
-    let small_keys = sub.small_keys();
-    // Seed the memo table with room for a burst of nodes (sequential-ish histories
-    // then never rehash); a warm arena already at or above this capacity makes the
-    // reserve a no-op.
+    // Size the memo table for a burst of nodes (sequential-ish histories then never
+    // rehash). The logical size is deterministic; a warm arena only skips the
+    // *physical* allocation.
     let memo_cap = (n * 4).clamp(16, 1024);
-    if small_keys {
-        memo_small.clear();
-        memo_small.reserve(memo_cap);
-    } else {
-        memo_large.clear();
-        memo_large.reserve(memo_cap);
-    }
+    memo.begin(words, sub.slots, memo_cap);
     stack.clear();
     stack.push(Frame {
         creator: NO_OP,
         restore: 0,
-        scan: 0,
+        scan: root.start,
+        end: (root.end as usize).min(n) as u32,
     });
     let mut entering = true;
+    let mut witness = None;
 
     while let Some(frame) = stack.last_mut() {
         if entering {
@@ -417,27 +872,25 @@ fn search_witness(
             stats.states_explored += 1;
             if *budget == 0 {
                 stats.limit_hit = true;
-                return None;
+                break;
             }
             *budget -= 1;
             if taken_completed == sub.completed {
                 // Clone rather than take: the scratch keeps its warm buffer for the
                 // next search, and one witness allocation per sub-search is noise.
-                return Some(order.clone());
+                witness = Some(order.clone());
+                break;
             }
-            let fresh = if small_keys {
-                memo_small.insert(u128::from(taken[0]) | (u128::from(vals[0]) << 64))
-            } else {
-                memo_large.insert(sub.pack_key(taken, vals))
-            };
-            if !fresh {
+            if !memo.insert(taken, vals) {
                 stats.states_memoized += 1;
-                frame.scan = n as u32; // force an immediate pop
+                stats.memo.hits += 1;
+                frame.scan = frame.end; // force an immediate pop
             }
         }
+        let scan_end = frame.end as usize;
         let mut advanced = false;
         let mut i = frame.scan as usize;
-        while i < n {
+        while i < scan_end {
             if sub.is_candidate(i, taken, vals) {
                 frame.scan = (i + 1) as u32;
                 let op = sub.ops[i];
@@ -454,6 +907,7 @@ fn search_witness(
                     creator: i as u32,
                     restore,
                     scan: 0,
+                    end: n as u32,
                 });
                 entering = true;
                 advanced = true;
@@ -462,7 +916,7 @@ fn search_witness(
             i += 1;
         }
         if !advanced {
-            let done = *stack.last().unwrap();
+            let done = *stack.last().expect("non-empty stack");
             stack.pop();
             if done.creator != NO_OP {
                 let c = done.creator as usize;
@@ -478,7 +932,103 @@ fn search_witness(
             }
         }
     }
-    None
+    scratch.memo.drain_into(stats);
+    witness
+}
+
+// ---------------------------------------------------------------------------
+// Within-register sharding
+// ---------------------------------------------------------------------------
+
+/// Default root-frontier size at which a single register's witness search is split
+/// into shards (see the module docs). The default is deliberately above the op count
+/// of the differential corpora and the tracked small-history workloads, so their
+/// search statistics are untouched; lower it per session via
+/// [`crate::CheckerBuilder::split_threshold`] (or [`Engine::with_split_threshold`])
+/// for histories with genuinely wide open concurrency.
+pub const DEFAULT_SPLIT_THRESHOLD: u32 = 24;
+
+/// Number of shards a split search is partitioned into. Fixed: shard geometry must
+/// depend only on the subproblem and the threshold — never on the pool width — or
+/// results would differ across thread counts.
+const SPLIT_SHARDS: usize = 8;
+
+/// Computes the shard ranges of `sub`'s root candidate scan, or `None` when the root
+/// frontier is below `threshold` (or too small to split at all). The frontier is the
+/// set of Wing–Gong candidates at the empty configuration: real-time-minimal ops
+/// whose effect is consistent with the initial register state. Candidates are
+/// chunked into [`SPLIT_SHARDS`] contiguous groups; each range spans from its
+/// group's first candidate (the first range from op 0) to the next group's first,
+/// so the ranges tile `0..n` and each shard's root scan sees exactly its group.
+fn shard_ranges(sub: &SubProblem, threshold: u32) -> Option<Vec<std::ops::Range<u32>>> {
+    let n = sub.ops.len();
+    let threshold = (threshold as usize).max(2);
+    if n < threshold {
+        return None; // the frontier is at most n ops — skip the scan entirely
+    }
+    // Local ops are in invocation order, so predecessor sets are monotone along the
+    // list: the first op with a nonzero preds row ends the real-time-minimal prefix,
+    // and everything after it is non-minimal too. The frontier scan therefore costs
+    // O(frontier), not O(n) — the common "too narrow to split" outcome on long
+    // sequential-ish histories rejects after a handful of ops, allocation-free.
+    let minimal_prefix = (0..n)
+        .take_while(|&i| {
+            sub.preds[i * sub.words..(i + 1) * sub.words]
+                .iter()
+                .all(|&w| w == 0)
+        })
+        .count();
+    let is_root_candidate = |i: &usize| {
+        let op = &sub.ops[*i];
+        op.is_write || op.value == sub.init_id
+    };
+    let count = (0..minimal_prefix).filter(is_root_candidate).count();
+    if count < threshold {
+        return None;
+    }
+    let candidates: Vec<u32> = (0..minimal_prefix)
+        .filter(is_root_candidate)
+        .map(|i| i as u32)
+        .collect();
+    let chunk = candidates
+        .len()
+        .div_ceil(SPLIT_SHARDS.min(candidates.len()));
+    let mut ranges: Vec<std::ops::Range<u32>> = Vec::new();
+    let mut lo = 0u32;
+    for group in candidates.chunks(chunk).skip(1) {
+        ranges.push(lo..group[0]);
+        lo = group[0];
+    }
+    ranges.push(lo..n as u32);
+    Some(ranges)
+}
+
+/// The canonical witness search of one register's subproblem: a plain DFS below the
+/// split threshold, the sharded sweep — shards in ascending range order, each with a
+/// fresh memo table, sharing `budget`, stopping at the first witness — above it.
+/// This *is* the sequential semantics; the parallel paths replay it.
+fn search_register(
+    sub: &SubProblem,
+    split_threshold: u32,
+    budget: &mut u64,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> Option<Vec<u32>> {
+    match shard_ranges(sub, split_threshold) {
+        None => search_witness(sub, budget, stats, scratch),
+        Some(ranges) => {
+            for range in ranges {
+                let witness = search_witness_range(sub, range, budget, stats, scratch);
+                if witness.is_some() {
+                    return witness;
+                }
+                if stats.limit_hit {
+                    return None;
+                }
+            }
+            None
+        }
+    }
 }
 
 /// One step outcome of a resumable enumeration walk.
@@ -526,6 +1076,7 @@ impl OrderWalk {
                 creator: NO_OP,
                 restore: 0,
                 scan: 0,
+                end: n as u32,
             }],
             entering: true,
             nodes: 0,
@@ -570,6 +1121,7 @@ impl OrderWalk {
                         creator: i as u32,
                         restore,
                         scan: 0,
+                        end: n as u32,
                     });
                     self.entering = true;
                     advanced = true;
@@ -813,6 +1365,8 @@ pub struct CheckOutcome {
     pub states_explored: u64,
     /// Nodes pruned by memoization.
     pub states_memoized: u64,
+    /// Memo-table counters of the check (probes, hits, arena high-water).
+    pub memo: MemoStats,
     /// `true` if the state budget ran out before the search finished; a missing
     /// witness is then inconclusive.
     pub limit_hit: bool,
@@ -851,7 +1405,9 @@ pub struct Engine<'a, V> {
     members: Vec<Vec<u32>>,
     /// The registers appearing in the history, ascending.
     registers: Vec<RegisterId>,
-    values: HashMap<&'a V, u32, FastBuildHasher>,
+    values: ValueInterner<'a, V>,
+    /// Root-frontier size at which a single register's search is sharded.
+    split_threshold: u32,
     /// Per-register subproblems, built lazily (`OnceLock` rather than `OnceCell` so
     /// a prepared engine can be shared across pool threads).
     per_register: OnceLock<Vec<SubProblem>>,
@@ -873,16 +1429,15 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
             .collect();
 
         // Intern every value appearing in the relevant ops, plus the initial value.
-        let mut values: HashMap<&V, u32, FastBuildHasher> =
-            HashMap::with_capacity_and_hasher(ops.len() + 1, FastBuildHasher::default());
-        values.insert(init, 0);
+        let mut values = ValueInterner::new();
+        let init_id = values.intern(init);
+        debug_assert_eq!(init_id, 0, "the initial value is always id 0");
         for op in &ops {
             let v = match &op.kind {
                 OpKind::Write(v) | OpKind::Read(Some(v)) => v,
                 OpKind::Read(None) => unreachable!("pending reads are filtered out"),
             };
-            let next = values.len() as u32;
-            values.entry(v).or_insert(next);
+            values.intern(v);
         }
 
         // Partition by register, preserving history order within each register.
@@ -899,9 +1454,24 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
             members,
             registers,
             values,
+            split_threshold: DEFAULT_SPLIT_THRESHOLD,
             per_register: OnceLock::new(),
             joint: OnceLock::new(),
         }
+    }
+
+    /// Sets the root-frontier size at which a single register's witness search is
+    /// split into shards (default [`DEFAULT_SPLIT_THRESHOLD`]). The threshold is part
+    /// of the *canonical* search semantics: changing it may change which states are
+    /// explored (and therefore the statistics — a sharded sweep can explore more
+    /// states than the plain DFS, so a tight state budget that sufficed unsharded
+    /// may run dry sharded, turning a conclusive check inconclusive), but a
+    /// *conclusive* verdict and its witness are threshold-independent, and at a
+    /// fixed threshold results stay bit-identical across thread counts.
+    #[must_use]
+    pub fn with_split_threshold(mut self, threshold: u32) -> Self {
+        self.split_threshold = threshold;
+        self
     }
 
     /// The operations the engine searches over (completed ops and pending writes), in
@@ -967,15 +1537,28 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     #[must_use]
     pub fn check_with(&self, state_limit: u64, scratch: &ScratchPool) -> CheckOutcome {
         let per_register = self.per_register();
-        if per_register.len() <= 1 || rayon::current_num_threads() <= 1 {
+        if rayon::current_num_threads() <= 1 {
             return self.check_sequential_with(state_limit, scratch);
         }
+        if per_register.len() <= 1 {
+            // One register: the only parallelism available is *within* its search —
+            // speculative subtree splitting over the root candidate shards.
+            let Some(ranges) = per_register
+                .first()
+                .and_then(|sub| shard_ranges(sub, self.split_threshold))
+            else {
+                return self.check_sequential_with(state_limit, scratch);
+            };
+            return self.check_sharded_single(&per_register[0], &ranges, state_limit, scratch);
+        }
         // Fork-join: every sub-search runs with a private budget of the full limit.
+        // (Copy the threshold out: capturing `self` would demand `V: Sync`.)
+        let split_threshold = self.split_threshold;
         let results: Vec<(Option<Vec<u32>>, SearchStats)> = rayon::par_map(per_register, |sub| {
             let mut budget = state_limit;
             let mut stats = SearchStats::default();
             let mut arena = scratch.acquire();
-            let order = search_witness(sub, &mut budget, &mut stats, &mut arena);
+            let order = search_register(sub, split_threshold, &mut budget, &mut stats, &mut arena);
             scratch.release(arena);
             (order, stats)
         });
@@ -994,8 +1577,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                 return self.check_sequential_with(state_limit, scratch);
             }
             consumed += sub_stats.states_explored;
-            stats.states_explored += sub_stats.states_explored;
-            stats.states_memoized += sub_stats.states_memoized;
+            stats.absorb(&sub_stats);
             match order {
                 Some(order) => sub_orders.push(order),
                 // First failing register: the sequential pass stops here too, with
@@ -1005,6 +1587,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                         order: None,
                         states_explored: stats.states_explored,
                         states_memoized: stats.states_memoized,
+                        memo: stats.memo,
                         limit_hit: false,
                     }
                 }
@@ -1015,6 +1598,54 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
         let outcome = self.finish_check(&sub_orders, &mut budget, &mut stats, &mut arena);
         scratch.release(arena);
         outcome
+    }
+
+    /// Speculative subtree splitting of a single register's search: every shard runs
+    /// fork-join with a private full budget, then the sequential shard-order
+    /// accounting is replayed — consume each shard's nodes in range order, stop at
+    /// the first witness — so the outcome is bit-identical to
+    /// [`Engine::check_sequential`] at any pool width. Shards past the sequential
+    /// stopping point are wasted speculation (that is the trade), and a replay that
+    /// detects the shared budget would have run dry mid-shard reruns sequentially.
+    fn check_sharded_single(
+        &self,
+        sub: &SubProblem,
+        ranges: &[std::ops::Range<u32>],
+        state_limit: u64,
+        scratch: &ScratchPool,
+    ) -> CheckOutcome {
+        let results: Vec<(Option<Vec<u32>>, SearchStats)> = rayon::par_map(ranges, |range| {
+            let mut budget = state_limit;
+            let mut stats = SearchStats::default();
+            let mut arena = scratch.acquire();
+            let order =
+                search_witness_range(sub, range.clone(), &mut budget, &mut stats, &mut arena);
+            scratch.release(arena);
+            (order, stats)
+        });
+        let mut consumed = 0u64;
+        let mut stats = SearchStats::default();
+        for (order, sub_stats) in results {
+            if sub_stats.limit_hit || consumed + sub_stats.states_explored > state_limit {
+                return self.check_sequential_with(state_limit, scratch);
+            }
+            consumed += sub_stats.states_explored;
+            stats.absorb(&sub_stats);
+            if let Some(order) = order {
+                let mut budget = state_limit - consumed;
+                let mut arena = scratch.acquire();
+                let outcome = self.finish_check(&[order], &mut budget, &mut stats, &mut arena);
+                scratch.release(arena);
+                return outcome;
+            }
+        }
+        CheckOutcome {
+            order: None,
+            states_explored: stats.states_explored,
+            states_memoized: stats.states_memoized,
+            memo: stats.memo,
+            limit_hit: false,
+        }
     }
 
     /// [`Engine::check`] pinned to the calling thread: per-register sub-searches run
@@ -1035,7 +1666,13 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
         let mut sub_orders: Vec<Vec<u32>> = Vec::with_capacity(per_register.len());
         let mut arena = scratch.acquire();
         for sub in per_register {
-            match search_witness(sub, &mut budget, &mut stats, &mut arena) {
+            match search_register(
+                sub,
+                self.split_threshold,
+                &mut budget,
+                &mut stats,
+                &mut arena,
+            ) {
                 Some(order) => sub_orders.push(order),
                 None => {
                     scratch.release(arena);
@@ -1043,6 +1680,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                         order: None,
                         states_explored: stats.states_explored,
                         states_memoized: stats.states_memoized,
+                        memo: stats.memo,
                         limit_hit: stats.limit_hit,
                     };
                 }
@@ -1098,6 +1736,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
             order,
             states_explored: stats.states_explored,
             states_memoized: stats.states_memoized,
+            memo: stats.memo,
             limit_hit: stats.limit_hit,
         }
     }
@@ -1666,6 +2305,200 @@ mod tests {
         // both the discovery attempt and the joint rerun.
         let err = engine.enumerate(usize::MAX, 10_000).unwrap_err();
         assert!(err.nodes_visited > 10_000);
+    }
+
+    /// A linearizable single-register history of `chunks * 4` operations: each chunk
+    /// is three mutually concurrent writes of distinct values plus a read that pins
+    /// the chunk's *first* write last — so the search backtracks through the chunk's
+    /// permutations (revisiting configurations: real memo hits) before finding the
+    /// witness, while the overall history stays linearizable. With enough chunks the
+    /// taken bitset spans several words, exercising the skip-compacted large-key
+    /// path.
+    fn chunked_write_history(chunks: usize) -> History<i64> {
+        let mut b = HistoryBuilder::new();
+        for k in 0..chunks as i64 {
+            let ids: Vec<_> = (0..3)
+                .map(|j| b.invoke_write(ProcessId(j), R0, 3 * k + j as i64))
+                .collect();
+            for id in ids {
+                b.respond_write(id);
+            }
+            b.read(ProcessId(3), R0, 3 * k);
+        }
+        b.build()
+    }
+
+    /// Reconstructs `(taken, vals)` from an arena key written by `write_key` — the
+    /// inverse the compaction round-trip test pins.
+    fn decode_key(key: &[u64], taken_words: usize, slots: usize) -> (Vec<u64>, Vec<u32>) {
+        let (taken, rest) = if taken_words > 1 {
+            let skip = key[0] as usize;
+            let mut t = vec![u64::MAX; skip];
+            t.extend_from_slice(&key[1..1 + taken_words - skip]);
+            (t, &key[1 + taken_words - skip..])
+        } else {
+            (vec![key[0]], &key[1..])
+        };
+        let mut vals = Vec::new();
+        for &w in rest {
+            vals.push(w as u32);
+            vals.push((w >> 32) as u32);
+        }
+        vals.truncate(slots);
+        (taken, vals)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn packed_keys_round_trip_and_never_collide(
+            taken_words in 1usize..5,
+            slots in 1usize..5,
+            a_raw in proptest::collection::vec(
+                proptest::prop_oneof![2 => proptest::prelude::Just(u64::MAX),
+                                      1 => proptest::prelude::Just(0u64),
+                                      2 => 0u64..1024],
+                4,
+            ),
+            b_raw in proptest::collection::vec(
+                proptest::prop_oneof![2 => proptest::prelude::Just(u64::MAX),
+                                      1 => proptest::prelude::Just(0u64),
+                                      2 => 0u64..1024],
+                4,
+            ),
+            a_vals in proptest::collection::vec(0u32..6, 4),
+            b_vals in proptest::collection::vec(0u32..6, 4),
+        ) {
+            let a = (&a_raw[..taken_words], &a_vals[..slots]);
+            let b = (&b_raw[..taken_words], &b_vals[..slots]);
+            let mut key_a = Vec::new();
+            let mut key_b = Vec::new();
+            write_key(&mut key_a, a.0, a.1, true);
+            write_key(&mut key_b, b.0, b.1, true);
+            // Round trip: the compacted key decodes back to the exact configuration.
+            let (taken_back, vals_back) = decode_key(&key_a, taken_words, slots);
+            proptest::prop_assert_eq!(&taken_back[..], a.0);
+            proptest::prop_assert_eq!(&vals_back[..], a.1);
+            // Injectivity: distinct configurations never collide as arena keys.
+            proptest::prop_assert_eq!(a == b, key_a == key_b);
+        }
+    }
+
+    #[test]
+    fn compaction_never_changes_search_results() {
+        // 120 ops => a two-word taken bitset, so compaction actually drops words on
+        // the deep states. The compacted and uncompacted searches must agree on the
+        // witness and on every state counter (only probe counts may differ — the key
+        // bytes, and so the hash sequence, change).
+        let h = chunked_write_history(30);
+        let engine = Engine::new(&h, &0);
+        let sub = &engine.per_register()[0];
+        let mut outcomes = Vec::new();
+        for compaction in [true, false] {
+            let mut scratch = SearchScratch::default();
+            scratch.memo.compaction_enabled = compaction;
+            let mut budget = u64::MAX;
+            let mut stats = SearchStats::default();
+            let witness = search_witness(sub, &mut budget, &mut stats, &mut scratch);
+            assert!(
+                stats.memo.hits > 0,
+                "the chunk reads must force memo traffic"
+            );
+            outcomes.push((witness, stats.states_explored, stats.states_memoized));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+    }
+
+    #[test]
+    fn warm_memo_arena_never_reallocates_across_a_batch() {
+        // After one warm-up pass over the batch the arena and slot buffers have seen
+        // their high-water sizes; a second pass through the same scratch must not
+        // grow any physical buffer again.
+        let histories: Vec<History<i64>> = (2..12).map(chunked_write_history).collect();
+        let mut scratch = SearchScratch::default();
+        let pass = |scratch: &mut SearchScratch| {
+            for h in &histories {
+                let engine = Engine::new(h, &0);
+                for sub in engine.per_register() {
+                    let mut budget = u64::MAX;
+                    let mut stats = SearchStats::default();
+                    let _ = search_register(
+                        sub,
+                        DEFAULT_SPLIT_THRESHOLD,
+                        &mut budget,
+                        &mut stats,
+                        scratch,
+                    );
+                }
+            }
+        };
+        pass(&mut scratch);
+        let warm = scratch.memo.reallocations;
+        assert!(warm > 0, "the cold pass must have allocated");
+        pass(&mut scratch);
+        assert_eq!(
+            scratch.memo.reallocations, warm,
+            "a warm arena re-allocated during the second pass"
+        );
+    }
+
+    #[test]
+    fn sharded_search_is_bit_identical_across_pool_widths() {
+        // Six mutually concurrent completed writes plus a read pinning one of them:
+        // a single-register search with a six-op root frontier. At threshold 2 the
+        // canonical semantics shards it; the speculative parallel path must replay to
+        // the exact sequential outcome (stats and memo counters included) at any
+        // width, and sharding must not change the verdict or witness of the default
+        // (unsharded) search.
+        let mut b = HistoryBuilder::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.invoke_write(ProcessId(i), R0, i as i64 + 1))
+            .collect();
+        for id in ids {
+            b.respond_write(id);
+        }
+        b.read(ProcessId(7), R0, 4i64);
+        let h = b.build();
+        let sharded = Engine::new(&h, &0).with_split_threshold(2);
+        let unsharded = Engine::new(&h, &0);
+        for limit in [1u64, 5, 40, 1_000_000] {
+            let sequential = sharded.check_sequential(limit);
+            for threads in [2usize, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let parallel = pool.install(|| sharded.check(limit));
+                assert_eq!(parallel, sequential, "threads={threads} limit={limit}");
+            }
+        }
+        let sharded_outcome = sharded.check_sequential(1_000_000);
+        let unsharded_outcome = unsharded.check_sequential(1_000_000);
+        assert_eq!(sharded_outcome.order, unsharded_outcome.order);
+        assert!(sharded_outcome.order.is_some());
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_scan_and_ignore_narrow_frontiers() {
+        let mut b = HistoryBuilder::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.invoke_write(ProcessId(i), R0, i as i64 + 1))
+            .collect();
+        for id in ids {
+            b.respond_write(id);
+        }
+        let h = b.build();
+        let engine = Engine::new(&h, &0);
+        let sub = &engine.per_register()[0];
+        assert!(shard_ranges(sub, DEFAULT_SPLIT_THRESHOLD).is_none());
+        let ranges = shard_ranges(sub, 2).expect("six-op frontier splits at threshold 2");
+        assert!(ranges.len() >= 2);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, sub.ops.len() as u32);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "ranges must tile the scan");
+        }
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub mod value;
 
 pub use checker::{CheckError, CheckStats, Checker, CheckerBuilder, ThreadPolicy, Verdict};
 pub use engine::{
-    CheckOutcome, Engine, EnumerationLimitExceeded, Linearizations, ScratchPool, SearchScratch,
+    CheckOutcome, Engine, EnumerationLimitExceeded, Linearizations, MemoStats, ScratchPool,
+    SearchScratch, DEFAULT_SPLIT_THRESHOLD,
 };
 pub use history::{History, HistoryBuilder};
 pub use ids::{OpId, ProcessId, RegisterId, Time};

@@ -210,9 +210,8 @@ impl<V: RegisterValue + Send + Sync> ExtensionFamily<V> {
             per_base_linearization: per_base,
             base_linearizations: base_lins,
             stats: CheckStats {
-                states_explored: 0,
-                states_memoized: 0,
                 enumeration_nodes,
+                ..CheckStats::default()
             },
         })
     }

@@ -112,6 +112,43 @@ fn batch_verdicts_match_individual_verdicts_at_any_width() {
 }
 
 #[test]
+fn within_register_sharding_is_bit_identical_across_thread_counts() {
+    // The within-register subtree split on single-register histories: at a low split
+    // threshold most of this corpus shards, and the speculative parallel path must
+    // replay to the exact sequential outcome — verdict, witness, state counters, and
+    // memo stats — at widths 1, 2, and 4 (width 1 covers the RLT_THREADS=1 CI job's
+    // sequential collapse of the same code path).
+    let histories: Vec<_> = (0..300u64)
+        .map(|seed| random_history(seed * 7 + 11, 12, 1))
+        .collect();
+    for budget in [u64::MAX, 64] {
+        let sequential_checker = Checker::builder(0i64)
+            .state_budget(budget)
+            .threads(ThreadPolicy::Sequential)
+            .split_threshold(2)
+            .build();
+        let sequential: Vec<_> = histories
+            .iter()
+            .map(|h| sequential_checker.check(h))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let fixed = Checker::builder(0i64)
+                .state_budget(budget)
+                .threads(ThreadPolicy::Fixed(threads))
+                .split_threshold(2)
+                .build();
+            for (i, h) in histories.iter().enumerate() {
+                assert_eq!(
+                    fixed.check(h),
+                    sequential[i],
+                    "split search diverged: threads={threads} budget={budget} history {i}: {h}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn multi_register_enumeration_matches_reference_exactly() {
     // The lazy interleaving product against the pre-engine reference enumerator on
     // three-register histories (the in-crate differential suite covers 1–2 registers):
