@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlt_mp::AbdCluster;
+use rlt_mp::{AbdCluster, MessageCluster};
 use rlt_spec::ProcessId;
 use std::hint::black_box;
 
@@ -56,6 +56,29 @@ fn abd_with_minority_crashes(c: &mut Criterion) {
     group.finish();
 }
 
+fn abd_adversary_hunt(c: &mut Criterion) {
+    // E13 wall-cost side: what one full deliveries-to-counterexample hunt costs under
+    // the targeted adversary (checker included) vs one capped uniform hunt. The
+    // delivery *counts* are tracked in BENCH_abd.json; this group tracks the price of
+    // producing them.
+    let mut group = c.benchmark_group("abd_adversary_hunt");
+    group.sample_size(20);
+    let checker = rlt_spec::Checker::new(0i64);
+    group.bench_function("reply_withholding_to_counterexample", |b| {
+        b.iter(|| {
+            let report = rlt_bench::abd_summary::run_hunt("reply_withholding", 0, &checker);
+            black_box(report.violation_at.expect("must find the inversion"))
+        });
+    });
+    group.bench_function("uniform_capped_hunt", |b| {
+        b.iter(|| {
+            let report = rlt_bench::abd_summary::run_hunt("uniform", 0, &checker);
+            black_box(report.deliveries)
+        });
+    });
+    group.finish();
+}
+
 fn abd_pipelined_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("abd_pipelined_workload");
     group.sample_size(20);
@@ -79,6 +102,7 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = abd_write_then_read, abd_with_minority_crashes, abd_pipelined_workload
+    targets = abd_write_then_read, abd_with_minority_crashes, abd_adversary_hunt,
+        abd_pipelined_workload
 }
 criterion_main!(benches);

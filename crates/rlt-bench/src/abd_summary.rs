@@ -1,0 +1,286 @@
+//! The `BENCH_abd.json` writer, shared by the `checkers_summary` and `abd_adversary`
+//! bins so both regenerate the same artifact.
+//!
+//! Two experiment families land in the file:
+//!
+//! * **E3 — ABD cost** (`rows`): write+read round-trip wall time as the cluster grows
+//!   and under minority crashes.
+//! * **E13 — adversarial message schedules** (`adversary_rows` + `minimize`): on the
+//!   faulty (write-back-free) cluster, the number of deliveries until the
+//!   [`rlt_spec::Checker`] first rejects the recorded history, per
+//!   [`rlt_mp::DeliveryAdversary`], median over [`HUNT_SEEDS`] scenario seeds — plus
+//!   one recorded failing schedule shrunk by [`rlt_mp::minimize::minimize_schedule`]
+//!   and replayed. Unlike the E3 wall-clock rows, every E13 number is a
+//!   *deterministic* function of the seeds (the vendored rng is a fixed stream), so
+//!   these rows are comparable across machines.
+
+use crate::mean_time;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlt_mp::adversary::{hunt_new_old_inversion, HuntReport};
+use rlt_mp::minimize::minimize_schedule;
+use rlt_mp::{
+    AbdCluster, DeliveryAdversary, FaultyAbdCluster, MessageCluster, NewestFirstAdversary,
+    OldestFirstAdversary, ReplyWithholdingAdversary, StarveDestinationAdversary, UniformAdversary,
+};
+use rlt_spec::{Checker, ProcessId};
+use std::fmt::Write as _;
+
+/// Scenario seeds per adversary in the E13 hunt rows.
+pub const HUNT_SEEDS: u64 = 50;
+
+/// Delivery budget per hunt; hunts that never trip the checker report this value
+/// (the medians are censored at the cap).
+pub const HUNT_CAP: u64 = 3_000;
+
+/// Cluster size of the E13 hunts.
+pub const HUNT_PROCESSES: usize = 5;
+
+/// The adversaries tracked by the E13 rows, by row name. The seed only matters for
+/// the uniform baseline; the targeted adversaries are deterministic.
+#[must_use]
+pub fn tracked_adversary(name: &str, seed: u64) -> Box<dyn DeliveryAdversary> {
+    match name {
+        "uniform" => Box::new(UniformAdversary::new(seed ^ 0x5eed_cafe)),
+        "oldest_first" => Box::new(OldestFirstAdversary::new()),
+        "newest_first" => Box::new(NewestFirstAdversary::new()),
+        "starve_replica_1" => Box::new(StarveDestinationAdversary::new(ProcessId(1))),
+        "reply_withholding" => Box::new(ReplyWithholdingAdversary::new()),
+        other => panic!("unknown tracked adversary {other:?}"),
+    }
+}
+
+/// Row names of [`tracked_adversary`], baseline first.
+pub const TRACKED_ADVERSARIES: &[&str] = &[
+    "uniform",
+    "oldest_first",
+    "newest_first",
+    "starve_replica_1",
+    "reply_withholding",
+];
+
+/// One E13 hunt: the tracked scenario (continuous writes, one reader at a time) on
+/// the faulty cluster under the named adversary.
+#[must_use]
+pub fn run_hunt(adversary_name: &str, scenario_seed: u64, checker: &Checker<i64>) -> HuntReport {
+    let mut adversary = tracked_adversary(adversary_name, scenario_seed);
+    hunt_new_old_inversion(
+        FaultyAbdCluster::new(HUNT_PROCESSES, ProcessId(0)),
+        &mut *adversary,
+        scenario_seed,
+        HUNT_CAP,
+        checker,
+    )
+}
+
+struct AdversaryRow {
+    adversary: &'static str,
+    found: u64,
+    median_deliveries: u64,
+    min_deliveries: u64,
+    max_deliveries: u64,
+}
+
+fn adversary_rows(checker: &Checker<i64>) -> Vec<AdversaryRow> {
+    TRACKED_ADVERSARIES
+        .iter()
+        .map(|&name| {
+            let mut deliveries: Vec<u64> = Vec::with_capacity(HUNT_SEEDS as usize);
+            let mut found = 0u64;
+            for seed in 0..HUNT_SEEDS {
+                let report = run_hunt(name, seed, checker);
+                found += u64::from(report.violation_at.is_some());
+                deliveries.push(report.violation_at.unwrap_or(HUNT_CAP));
+            }
+            deliveries.sort_unstable();
+            AdversaryRow {
+                adversary: name,
+                found,
+                median_deliveries: deliveries[deliveries.len() / 2],
+                min_deliveries: deliveries[0],
+                max_deliveries: *deliveries.last().expect("HUNT_SEEDS > 0"),
+            }
+        })
+        .collect()
+}
+
+struct MinimizeRow {
+    scenario_seed: u64,
+    raw_deliveries: usize,
+    min_deliveries: usize,
+    min_steps: usize,
+    replays_tried: u64,
+    replay_deterministic: bool,
+}
+
+fn minimize_row(checker: &Checker<i64>) -> MinimizeRow {
+    let scenario_seed = 0u64;
+    let report = run_hunt("reply_withholding", scenario_seed, checker);
+    assert!(
+        report.violation_at.is_some(),
+        "the targeted adversary must find a counterexample on the tracked seed"
+    );
+    let not_linearizable =
+        |h: &rlt_spec::History<i64>| matches!(checker.check(h).outcome(), Ok(false));
+    let fresh = || FaultyAbdCluster::new(HUNT_PROCESSES, ProcessId(0));
+    let minimized = minimize_schedule(fresh, &report.schedule, not_linearizable, scenario_seed);
+    let (mut a, mut b) = (fresh(), fresh());
+    minimized.schedule.replay_on(&mut a);
+    minimized.schedule.replay_on(&mut b);
+    let replay_deterministic = a.history() == b.history() && not_linearizable(&a.history());
+    assert!(
+        replay_deterministic,
+        "the minimized schedule must replay bit-identically to the same rejected verdict"
+    );
+    MinimizeRow {
+        scenario_seed,
+        raw_deliveries: report.schedule.delivery_count(),
+        min_deliveries: minimized.schedule.delivery_count(),
+        min_steps: minimized.schedule.len(),
+        replays_tried: minimized.replays_tried,
+        replay_deterministic,
+    }
+}
+
+/// Measures everything and writes the `BENCH_abd.json` artifact to `out_path`.
+pub fn write_abd_json(out_path: &str) {
+    // E3: write+read round-trip cost vs cluster size, and under minority crashes.
+    struct AbdRow {
+        bench: &'static str,
+        processes: usize,
+        crashes: usize,
+        mean_wall_nanos: u128,
+        iterations: u64,
+        history_ops: usize,
+    }
+    let mut rows: Vec<AbdRow> = Vec::new();
+    for &n in &[3usize, 5, 9, 15] {
+        let mut history_ops = 0usize;
+        let (mean_wall_nanos, iterations, _) = mean_time(|| {
+            let mut cluster = AbdCluster::new(n, ProcessId(0));
+            let mut rng = StdRng::seed_from_u64(1);
+            cluster.start_write(7);
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            cluster.start_read(ProcessId(1));
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            history_ops = cluster.history().len();
+            history_ops > 0
+        });
+        rows.push(AbdRow {
+            bench: "abd_write_then_read",
+            processes: n,
+            crashes: 0,
+            mean_wall_nanos,
+            iterations,
+            history_ops,
+        });
+    }
+    for &crashes in &[1usize, 2] {
+        let mut history_ops = 0usize;
+        let (mean_wall_nanos, iterations, _) = mean_time(|| {
+            let mut cluster = AbdCluster::new(5, ProcessId(0));
+            let mut rng = StdRng::seed_from_u64(2);
+            for i in 0..crashes {
+                cluster.crash(ProcessId(4 - i));
+            }
+            cluster.start_write(1);
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            cluster.start_read(ProcessId(1));
+            cluster.run_to_quiescence(&mut rng, 1_000_000);
+            history_ops = cluster.history().len();
+            history_ops > 0
+        });
+        rows.push(AbdRow {
+            bench: "abd_minority_crashes",
+            processes: 5,
+            crashes,
+            mean_wall_nanos,
+            iterations,
+            history_ops,
+        });
+    }
+
+    // E13: deliveries-to-counterexample per adversary, plus the minimizer row.
+    let checker = Checker::new(0i64);
+    let hunts = adversary_rows(&checker);
+    let minimize = minimize_row(&checker);
+
+    let mut json = String::from("{\n  \"experiment\": \"E3-abd-cost\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        eprintln!(
+            "{:>15} n={} crashes={}: {:.3} ms/iter over {} iters ({} history ops)",
+            r.bench,
+            r.processes,
+            r.crashes,
+            r.mean_wall_nanos as f64 / 1e6,
+            r.iterations,
+            r.history_ops
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"bench\": \"{}\", \"processes\": {}, \"crashes\": {}, \
+             \"mean_wall_nanos\": {}, \"iterations\": {}, \"history_ops\": {}}}{}",
+            r.bench,
+            r.processes,
+            r.crashes,
+            r.mean_wall_nanos,
+            r.iterations,
+            r.history_ops,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"adversary_experiment\": \"E13-abd-adversary-schedules\",\n  \
+         \"adversary_workload\": {{\"cluster\": \"faulty_abd\", \"processes\": {HUNT_PROCESSES}, \
+         \"seeds\": {HUNT_SEEDS}, \"delivery_cap\": {HUNT_CAP}}},\n  \"adversary_rows\": ["
+    );
+    for (i, r) in hunts.iter().enumerate() {
+        eprintln!(
+            "{:>20}: median {:>4} deliveries to counterexample (found {}/{}, min {}, max {})",
+            r.adversary,
+            r.median_deliveries,
+            r.found,
+            HUNT_SEEDS,
+            r.min_deliveries,
+            r.max_deliveries
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"adversary\": \"{}\", \"found\": {}, \"median_deliveries\": {}, \
+             \"min_deliveries\": {}, \"max_deliveries\": {}}}{}",
+            r.adversary,
+            r.found,
+            r.median_deliveries,
+            r.min_deliveries,
+            r.max_deliveries,
+            if i + 1 < hunts.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    eprintln!(
+        "{:>20}: {} raw -> {} deliveries ({} steps) after {} replays, deterministic: {}",
+        "minimized",
+        minimize.raw_deliveries,
+        minimize.min_deliveries,
+        minimize.min_steps,
+        minimize.replays_tried,
+        minimize.replay_deterministic
+    );
+    let _ = writeln!(
+        json,
+        "  \"minimize\": {{\"adversary\": \"reply_withholding\", \"scenario_seed\": {}, \
+         \"raw_deliveries\": {}, \"min_deliveries\": {}, \"min_steps\": {}, \
+         \"replays_tried\": {}, \"replay_deterministic\": {}}}",
+        minimize.scenario_seed,
+        minimize.raw_deliveries,
+        minimize.min_deliveries,
+        minimize.min_steps,
+        minimize.replays_tried,
+        minimize.replay_deterministic
+    );
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).expect("write ABD summary JSON");
+    eprintln!("wrote {out_path}");
+}

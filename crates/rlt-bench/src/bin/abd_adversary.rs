@@ -1,0 +1,20 @@
+//! Experiment E13: adversarial ABD message schedules.
+//!
+//! Regenerates `BENCH_abd.json` (the E3 cost rows *and* the E13 adversary rows — the
+//! file is one artifact, shared with `checkers_summary`): for each tracked
+//! [`rlt_mp::DeliveryAdversary`], the median number of deliveries until the checker
+//! first rejects a history of the faulty (write-back-free) ABD cluster, over 50
+//! scenario seeds; plus one recorded failing schedule shrunk by the seeded
+//! delta-debugging minimizer and replayed for determinism. The E13 numbers are
+//! deterministic per seed, so CI can smoke-run this bin and the rows mean the same
+//! thing on any machine.
+//!
+//! Usage: `cargo run --release -p rlt-bench --bin abd_adversary [abd.json]`
+//! (default: `BENCH_abd.json`)
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_abd.json".into());
+    rlt_bench::abd_summary::write_abd_json(&out_path);
+}

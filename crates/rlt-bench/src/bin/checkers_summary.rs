@@ -18,30 +18,31 @@
 //!   bin.
 //! * `BENCH_game.json` — experiment E2: cost of 10-round Figure 1/2 games per
 //!   register mode and process count, plus full termination experiments.
-//! * `BENCH_abd.json` — experiment E3: ABD write+read round-trip cost as the cluster
-//!   grows and under minority crashes.
+//! * `BENCH_abd.json` — experiment E3 (ABD write+read round-trip cost as the cluster
+//!   grows and under minority crashes) and experiment E13 (adversarial message
+//!   schedules: deliveries-to-counterexample per delivery adversary on the faulty
+//!   cluster, plus the minimized failing schedule) — written by the shared
+//!   `rlt_bench::abd_summary` module, also reachable through the focused
+//!   `abd_adversary` bin.
 //!
 //! Usage: `cargo run --release -p rlt-bench --bin checkers_summary \
 //!     [checkers.json [game.json [abd.json]]]`
 //! (defaults: `BENCH_checkers.json`, `BENCH_game.json`, `BENCH_abd.json`)
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rlt_bench::tracked::{
     BATCH_SIZE, DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, MEMO_ARENA_SPLIT_THRESHOLD,
     MULTI_REGISTERS, REUSE_CORPUS, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED, WORKLOAD_PROCESSES,
     WORKLOAD_SEED,
 };
 use rlt_bench::{
-    distinct_value_workload, lamport_workload, multi_register_workload, small_history_corpus,
+    distinct_value_workload, lamport_workload, mean_time, multi_register_workload,
+    small_history_corpus,
 };
 use rlt_game::{run_game, termination_experiment, GameConfig};
-use rlt_mp::AbdCluster;
 use rlt_sim::RegisterMode;
 use rlt_spec::reference::reference_check_linearizable;
-use rlt_spec::{Checker, History, MemoStats, ProcessId, ThreadPolicy, DEFAULT_STATE_LIMIT};
+use rlt_spec::{Checker, History, MemoStats, ThreadPolicy, DEFAULT_STATE_LIMIT};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Decision counts for the single-register scaling series. 80 was the ceiling of the
 /// pre-engine checker's bench coverage; 160/320 exercise the engine headroom.
@@ -59,9 +60,6 @@ const THREAD_COUNTS: &[usize] = &[1, 2, 4];
 // Workload geometry (sizes, seeds, thresholds) lives in `rlt_bench::tracked`,
 // shared with the `state_drift_guard` bin so the two can never disagree about what
 // a tracked row means.
-
-/// Wall-time budget per measured point; iterations repeat until it is spent.
-const MEASURE_BUDGET_NANOS: u128 = 200_000_000;
 
 struct Row {
     checker: &'static str,
@@ -89,24 +87,6 @@ fn fold_memo<'a>(probes: impl Iterator<Item = &'a rlt_spec::Verdict<i64>>) -> Me
             .max(verdict.stats().memo.arena_high_water);
     }
     memo
-}
-
-/// Times `f` repeatedly until the budget is spent and returns the mean nanoseconds.
-fn mean_time<F: FnMut() -> bool>(mut f: F) -> (u128, u64, bool) {
-    let start = Instant::now();
-    let mut iterations = 0u64;
-    let last = loop {
-        let outcome = f();
-        iterations += 1;
-        if start.elapsed().as_nanos() >= MEASURE_BUDGET_NANOS {
-            break outcome;
-        }
-    };
-    (
-        start.elapsed().as_nanos() / u128::from(iterations),
-        iterations,
-        last,
-    )
 }
 
 fn measure_engine(workload: &str, history: &History<i64>) -> Row {
@@ -478,91 +458,6 @@ fn write_game_json(out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
-fn write_abd_json(out_path: &str) {
-    // E3: write+read round-trip cost vs cluster size, and under minority crashes.
-    struct AbdRow {
-        bench: &'static str,
-        processes: usize,
-        crashes: usize,
-        mean_wall_nanos: u128,
-        iterations: u64,
-        history_ops: usize,
-    }
-    let mut rows: Vec<AbdRow> = Vec::new();
-    for &n in &[3usize, 5, 9, 15] {
-        let mut history_ops = 0usize;
-        let (mean_wall_nanos, iterations, _) = mean_time(|| {
-            let mut cluster = AbdCluster::new(n, ProcessId(0));
-            let mut rng = StdRng::seed_from_u64(1);
-            cluster.start_write(7);
-            cluster.run_to_quiescence(&mut rng, 1_000_000);
-            cluster.start_read(ProcessId(1));
-            cluster.run_to_quiescence(&mut rng, 1_000_000);
-            history_ops = cluster.history().len();
-            history_ops > 0
-        });
-        rows.push(AbdRow {
-            bench: "abd_write_then_read",
-            processes: n,
-            crashes: 0,
-            mean_wall_nanos,
-            iterations,
-            history_ops,
-        });
-    }
-    for &crashes in &[1usize, 2] {
-        let mut history_ops = 0usize;
-        let (mean_wall_nanos, iterations, _) = mean_time(|| {
-            let mut cluster = AbdCluster::new(5, ProcessId(0));
-            let mut rng = StdRng::seed_from_u64(2);
-            for i in 0..crashes {
-                cluster.crash(ProcessId(4 - i));
-            }
-            cluster.start_write(1);
-            cluster.run_to_quiescence(&mut rng, 1_000_000);
-            cluster.start_read(ProcessId(1));
-            cluster.run_to_quiescence(&mut rng, 1_000_000);
-            history_ops = cluster.history().len();
-            history_ops > 0
-        });
-        rows.push(AbdRow {
-            bench: "abd_minority_crashes",
-            processes: 5,
-            crashes,
-            mean_wall_nanos,
-            iterations,
-            history_ops,
-        });
-    }
-    let mut json = String::from("{\n  \"experiment\": \"E3-abd-cost\",\n  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        eprintln!(
-            "{:>15} n={} crashes={}: {:.3} ms/iter over {} iters ({} history ops)",
-            r.bench,
-            r.processes,
-            r.crashes,
-            r.mean_wall_nanos as f64 / 1e6,
-            r.iterations,
-            r.history_ops
-        );
-        let _ = writeln!(
-            json,
-            "    {{\"bench\": \"{}\", \"processes\": {}, \"crashes\": {}, \
-             \"mean_wall_nanos\": {}, \"iterations\": {}, \"history_ops\": {}}}{}",
-            r.bench,
-            r.processes,
-            r.crashes,
-            r.mean_wall_nanos,
-            r.iterations,
-            r.history_ops,
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(out_path, &json).expect("write ABD summary JSON");
-    eprintln!("wrote {out_path}");
-}
-
 fn main() {
     let mut args = std::env::args().skip(1);
     let checkers_path = args.next().unwrap_or_else(|| "BENCH_checkers.json".into());
@@ -572,5 +467,5 @@ fn main() {
     let rows = checker_rows();
     write_checkers_json(&rows, &checkers_path);
     write_game_json(&game_path);
-    write_abd_json(&abd_path);
+    rlt_bench::abd_summary::write_abd_json(&abd_path);
 }

@@ -14,6 +14,32 @@
 
 #![warn(missing_docs)]
 
+pub mod abd_summary;
+
+/// Wall-time budget per summary-bin measured point; iterations repeat until it is
+/// spent. Shared by `checkers_summary` and `abd_summary` so their wall-clock rows
+/// stay comparable.
+pub const MEASURE_BUDGET_NANOS: u128 = 200_000_000;
+
+/// Times `f` repeatedly until [`MEASURE_BUDGET_NANOS`] is spent; returns the mean
+/// nanoseconds per iteration, the iteration count, and `f`'s last return value.
+pub fn mean_time<F: FnMut() -> bool>(mut f: F) -> (u128, u64, bool) {
+    let start = std::time::Instant::now();
+    let mut iterations = 0u64;
+    let last = loop {
+        let outcome = f();
+        iterations += 1;
+        if start.elapsed().as_nanos() >= MEASURE_BUDGET_NANOS {
+            break outcome;
+        }
+    };
+    (
+        start.elapsed().as_nanos() / u128::from(iterations),
+        iterations,
+        last,
+    )
+}
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlt_registers::algorithm2::VectorSim;

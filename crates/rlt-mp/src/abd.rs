@@ -12,71 +12,18 @@
 //!
 //! The simulation assumes fewer than half of the processes crash (the standard ABD
 //! assumption); the delivery order of messages is entirely under the caller's control,
-//! which plays the role of the adversary.
+//! which plays the role of the adversary — either directly through
+//! [`AbdCluster::deliver`], through the shared random delivery of
+//! [`MessageCluster`], or through a [`crate::adversary::DeliveryAdversary`].
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::delivery::{InflightQueue, MessageCluster};
 use rlt_spec::{History, OpId, OpKind, Operation, ProcessId, RegisterId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
+pub use crate::delivery::{AbdMessage, Envelope};
+
 /// Register id used for the ABD-implemented register in recorded histories.
 pub const ABD_REGISTER: RegisterId = RegisterId(400);
-
-/// A protocol message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AbdMessage {
-    /// Writer → replica: store `(seq, value)` if newer.
-    WriteReq {
-        /// Sequence number chosen by the writer.
-        seq: u64,
-        /// Value being written.
-        value: i64,
-    },
-    /// Replica → writer: acknowledgment of a `WriteReq`.
-    WriteAck {
-        /// Sequence number being acknowledged.
-        seq: u64,
-    },
-    /// Reader → replica: request the replica's current `(seq, value)`.
-    ReadReq {
-        /// Read-request identifier (unique per read operation).
-        rid: u64,
-    },
-    /// Replica → reader: the replica's current `(seq, value)`.
-    ReadReply {
-        /// Read-request identifier this reply answers.
-        rid: u64,
-        /// The replica's stored sequence number.
-        seq: u64,
-        /// The replica's stored value.
-        value: i64,
-    },
-    /// Reader → replica: write-back of the chosen `(seq, value)`.
-    WriteBackReq {
-        /// Read-request identifier.
-        rid: u64,
-        /// Sequence number being written back.
-        seq: u64,
-        /// Value being written back.
-        value: i64,
-    },
-    /// Replica → reader: acknowledgment of a write-back.
-    WriteBackAck {
-        /// Read-request identifier.
-        rid: u64,
-    },
-}
-
-/// A message in flight.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Envelope {
-    /// Sending process.
-    pub from: ProcessId,
-    /// Destination process.
-    pub to: ProcessId,
-    /// Payload.
-    pub message: AbdMessage,
-}
 
 #[derive(Debug, Clone)]
 enum ClientState {
@@ -107,7 +54,7 @@ pub struct AbdCluster {
     /// Replica state: the stored `(seq, value)` of each process.
     replicas: Vec<(u64, i64)>,
     clients: Vec<ClientState>,
-    inflight: Vec<Envelope>,
+    inflight: InflightQueue,
     crashed: BTreeSet<usize>,
     now: u64,
     next_op: u64,
@@ -132,7 +79,7 @@ impl AbdCluster {
             writer,
             replicas: vec![(0, 0); n],
             clients: vec![ClientState::Idle; n],
-            inflight: Vec::new(),
+            inflight: InflightQueue::new(),
             crashed: BTreeSet::new(),
             now: 0,
             next_op: 0,
@@ -171,20 +118,27 @@ impl AbdCluster {
         id
     }
 
-    fn broadcast(&mut self, from: ProcessId, message: AbdMessage) {
-        for to in 0..self.n {
-            self.inflight.push(Envelope {
-                from,
-                to: ProcessId(to),
-                message: message.clone(),
-            });
+    /// Enqueues a message unless the destination has crashed (sending to a dead
+    /// process is a no-op: nothing will ever process it).
+    fn send(&mut self, from: ProcessId, to: ProcessId, message: AbdMessage) {
+        if !self.crashed.contains(&to.0) {
+            self.inflight.push(Envelope { from, to, message });
         }
     }
 
-    /// Marks a process as crashed: messages addressed to it are silently dropped and it
-    /// issues no further protocol steps. Its pending operation (if any) never completes.
+    fn broadcast(&mut self, from: ProcessId, message: AbdMessage) {
+        for to in 0..self.n {
+            self.send(from, ProcessId(to), message.clone());
+        }
+    }
+
+    /// Marks a process as crashed (fail-stop): it issues no further protocol steps,
+    /// and its in-flight traffic — messages it sent as well as messages addressed to
+    /// it — is dropped from the network. Its pending operation (if any) therefore
+    /// stays pending forever; it can never retroactively complete.
     pub fn crash(&mut self, p: ProcessId) {
         self.crashed.insert(p.0);
+        self.inflight.purge_process(p);
     }
 
     /// Returns `true` if `p` has crashed.
@@ -272,34 +226,37 @@ impl AbdCluster {
         self.inflight.len()
     }
 
-    /// The messages currently in flight (for adversaries that want to pick precisely).
+    /// The in-flight messages, for adversaries that want to pick precisely.
+    ///
+    /// Slot indices are **index-stable**: delivering one message never reindexes the
+    /// others, so an adversary may hold slot indices across deliveries. A slot is only
+    /// invalidated when its own envelope is removed — delivered, or purged because an
+    /// endpoint crashed — after which the slot may be reused by a later send. See
+    /// [`InflightQueue`] for the full contract.
     #[must_use]
-    pub fn inflight(&self) -> &[Envelope] {
+    pub fn inflight(&self) -> &InflightQueue {
         &self.inflight
     }
 
-    /// Delivers the in-flight message at `index`, processing it at its destination.
+    /// Delivers the in-flight message at `slot`, processing it at its destination.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of bounds.
-    pub fn deliver(&mut self, index: usize) {
-        let envelope = self.inflight.remove(index);
+    /// Panics if the slot is free or out of bounds.
+    pub fn deliver(&mut self, slot: usize) {
+        let envelope = self.inflight.take(slot);
         let to = envelope.to;
-        if self.is_crashed(to) {
-            return; // dropped
-        }
+        debug_assert!(
+            !self.is_crashed(to),
+            "messages to crashed processes are purged on crash"
+        );
         self.tick();
         match envelope.message {
             AbdMessage::WriteReq { seq, value } => {
                 if seq > self.replicas[to.0].0 {
                     self.replicas[to.0] = (seq, value);
                 }
-                self.inflight.push(Envelope {
-                    from: to,
-                    to: envelope.from,
-                    message: AbdMessage::WriteAck { seq },
-                });
+                self.send(to, envelope.from, AbdMessage::WriteAck { seq });
             }
             AbdMessage::WriteAck { seq } => {
                 if let ClientState::Writing {
@@ -320,11 +277,7 @@ impl AbdCluster {
             }
             AbdMessage::ReadReq { rid } => {
                 let (seq, value) = self.replicas[to.0];
-                self.inflight.push(Envelope {
-                    from: to,
-                    to: envelope.from,
-                    message: AbdMessage::ReadReply { rid, seq, value },
-                });
+                self.send(to, envelope.from, AbdMessage::ReadReply { rid, seq, value });
             }
             AbdMessage::ReadReply { rid, seq, value } => {
                 if let ClientState::ReadingQuery {
@@ -363,11 +316,7 @@ impl AbdCluster {
                 if seq > self.replicas[to.0].0 {
                     self.replicas[to.0] = (seq, value);
                 }
-                self.inflight.push(Envelope {
-                    from: to,
-                    to: envelope.from,
-                    message: AbdMessage::WriteBackAck { rid },
-                });
+                self.send(to, envelope.from, AbdMessage::WriteBackAck { rid });
             }
             AbdMessage::WriteBackAck { rid } => {
                 if let ClientState::ReadingWriteBack {
@@ -404,26 +353,6 @@ impl AbdCluster {
         }
     }
 
-    /// Delivers one randomly chosen in-flight message. Returns `false` if none exist.
-    pub fn deliver_random(&mut self, rng: &mut StdRng) -> bool {
-        if self.inflight.is_empty() {
-            return false;
-        }
-        let idx = rng.gen_range(0..self.inflight.len());
-        self.deliver(idx);
-        true
-    }
-
-    /// Delivers random messages until either nothing is in flight or `max_deliveries`
-    /// have been made. Returns the number of deliveries.
-    pub fn run_to_quiescence(&mut self, rng: &mut StdRng, max_deliveries: u64) -> u64 {
-        let mut count = 0;
-        while count < max_deliveries && self.deliver_random(rng) {
-            count += 1;
-        }
-        count
-    }
-
     /// The recorded register-level history.
     #[must_use]
     pub fn history(&self) -> History<i64> {
@@ -437,10 +366,54 @@ impl AbdCluster {
     }
 }
 
+impl MessageCluster for AbdCluster {
+    fn queue(&self) -> &InflightQueue {
+        &self.inflight
+    }
+
+    fn deliver_slot(&mut self, slot: usize) {
+        AbdCluster::deliver(self, slot);
+    }
+
+    fn try_start_write(&mut self, value: i64) -> Option<OpId> {
+        let w = self.writer;
+        (!self.is_crashed(w) && self.is_idle(w)).then(|| self.start_write(value))
+    }
+
+    fn try_start_read(&mut self, p: ProcessId) -> Option<OpId> {
+        (p.0 < self.n && !self.is_crashed(p) && self.is_idle(p)).then(|| self.start_read(p))
+    }
+
+    fn crash_process(&mut self, p: ProcessId) {
+        AbdCluster::crash(self, p);
+    }
+
+    fn history(&self) -> History<i64> {
+        AbdCluster::history(self)
+    }
+
+    fn process_count(&self) -> usize {
+        self.n
+    }
+
+    fn writer(&self) -> ProcessId {
+        self.writer
+    }
+
+    fn is_idle(&self, p: ProcessId) -> bool {
+        AbdCluster::is_idle(self, p)
+    }
+
+    fn is_crashed(&self, p: ProcessId) -> bool {
+        AbdCluster::is_crashed(self, p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rlt_spec::Checker;
 
     /// One checking session shared by every assertion in this module.
@@ -628,5 +601,91 @@ mod tests {
         assert_eq!(AbdCluster::new(3, ProcessId(0)).majority(), 2);
         assert_eq!(AbdCluster::new(5, ProcessId(0)).majority(), 3);
         assert_eq!(AbdCluster::new(6, ProcessId(0)).majority(), 4);
+    }
+
+    #[test]
+    fn crashed_writer_mid_write_leaves_op_pending_and_drops_its_traffic() {
+        let writer = ProcessId(0);
+        let mut c = AbdCluster::new(5, writer);
+        let mut r = rng(11);
+        c.start_write(7);
+        // The write reaches replica 1 only, then the writer fail-stops.
+        let slot = c
+            .inflight()
+            .oldest_matching(|e| {
+                matches!(e.message, AbdMessage::WriteReq { .. }) && e.to == ProcessId(1)
+            })
+            .expect("write request to replica 1");
+        c.deliver(slot);
+        c.crash(writer);
+        // All of the crashed writer's stale traffic is gone: no WriteReq keeps
+        // circulating, and the ack addressed to it is dropped too.
+        assert!(
+            c.inflight()
+                .iter()
+                .all(|(_, e)| e.from != writer && e.to != writer),
+            "crash must purge the crashed process's in-flight traffic"
+        );
+        c.run_to_quiescence(&mut r, 10_000);
+        // The write is pending forever — it must never retroactively complete.
+        let h = c.history();
+        assert_eq!(h.pending().count(), 1);
+        assert!(h.writes().next().unwrap().responded_at.is_none());
+        // The partially propagated value is still repairable by a read's write-back.
+        c.start_read(ProcessId(1));
+        c.run_to_quiescence(&mut r, 10_000);
+        let h = c.history();
+        assert_eq!(
+            h.pending().count(),
+            1,
+            "only the crashed write stays pending"
+        );
+        // The read's majority may or may not include the one repaired replica; with
+        // the write forever pending, both the old and the new value are legal.
+        let read_value = h.reads().next().unwrap().read_value().copied();
+        assert!(matches!(read_value, Some(0 | 7)), "got {read_value:?}");
+        assert!(is_linearizable(&h));
+    }
+
+    #[test]
+    fn crashed_reader_mid_write_back_leaves_op_pending_and_drops_its_traffic() {
+        let reader = ProcessId(1);
+        let mut c = AbdCluster::new(5, ProcessId(0));
+        let mut r = rng(12);
+        c.start_write(7);
+        c.run_to_quiescence(&mut r, 10_000);
+        c.start_read(reader);
+        // Deliver the read's queries and replies until the write-back phase starts.
+        while c
+            .inflight()
+            .iter()
+            .all(|(_, e)| !matches!(e.message, AbdMessage::WriteBackReq { .. }))
+        {
+            let slot = c
+                .inflight()
+                .oldest_matching(|e| {
+                    matches!(
+                        e.message,
+                        AbdMessage::ReadReq { .. } | AbdMessage::ReadReply { .. }
+                    )
+                })
+                .expect("read query traffic while no write-back is in flight");
+            c.deliver(slot);
+        }
+        // The reader fail-stops mid-write-back: its WriteBackReqs must vanish.
+        c.crash(reader);
+        assert!(
+            c.inflight()
+                .iter()
+                .all(|(_, e)| e.from != reader && e.to != reader),
+            "crash must purge the reader's write-back traffic"
+        );
+        c.run_to_quiescence(&mut r, 10_000);
+        let h = c.history();
+        assert_eq!(h.pending().count(), 1, "the crashed read stays pending");
+        assert!(h.reads().next().unwrap().responded_at.is_none());
+        assert!(is_linearizable(&h));
+        // And the cluster actually quiesced — no garbage circulates forever.
+        assert_eq!(c.inflight_count(), 0);
     }
 }

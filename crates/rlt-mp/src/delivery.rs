@@ -1,0 +1,686 @@
+//! The shared delivery core of the message-passing simulations.
+//!
+//! Both [`crate::AbdCluster`] and [`crate::FaultyAbdCluster`] move protocol messages
+//! through the same machinery defined here:
+//!
+//! * [`Envelope`] / [`AbdMessage`] — the wire types (the faulty variant simply never
+//!   sends the write-back messages).
+//! * [`InflightQueue`] — an **index-stable slot queue** of in-flight messages. Unlike a
+//!   compacting `Vec`, delivering one message never moves the others, so adversaries
+//!   can hold slot indices across deliveries without silent reindexing, and a delivery
+//!   is `O(1)` instead of `O(n)`.
+//! * [`MessageCluster`] — the capability trait the clusters implement. It is what the
+//!   [`crate::adversary::DeliveryAdversary`] implementations, the recorded
+//!   [`Schedule`]s, and the [`crate::minimize`] shrinker are generic over, and it hosts
+//!   the single shared implementation of [`MessageCluster::deliver_random`] /
+//!   [`MessageCluster::run_to_quiescence`] (previously copy-pasted per cluster).
+//! * [`Schedule`] / [`ScheduleRun`] — a replayable recording of one run: the client
+//!   events (operation starts, crashes) interleaved with the delivered message keys.
+//!   Replaying a schedule on a fresh cluster is deterministic, so a failing schedule is
+//!   a *portable, shrinkable counterexample* rather than a lucky seed.
+
+use crate::adversary::{DeliveryAdversary, DeliveryView};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rlt_spec::{History, OpId, ProcessId};
+
+/// A protocol message.
+///
+/// Shared by the correct and the faulty cluster; the faulty variant never sends
+/// `WriteBackReq`/`WriteBackAck` (dropping the write-back phase is its fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbdMessage {
+    /// Writer → replica: store `(seq, value)` if newer.
+    WriteReq {
+        /// Sequence number chosen by the writer.
+        seq: u64,
+        /// Value being written.
+        value: i64,
+    },
+    /// Replica → writer: acknowledgment of a `WriteReq`.
+    WriteAck {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+    /// Reader → replica: request the replica's current `(seq, value)`.
+    ReadReq {
+        /// Read-request identifier (unique per read operation).
+        rid: u64,
+    },
+    /// Replica → reader: the replica's current `(seq, value)`.
+    ReadReply {
+        /// Read-request identifier this reply answers.
+        rid: u64,
+        /// The replica's stored sequence number.
+        seq: u64,
+        /// The replica's stored value.
+        value: i64,
+    },
+    /// Reader → replica: write-back of the chosen `(seq, value)`.
+    WriteBackReq {
+        /// Read-request identifier.
+        rid: u64,
+        /// Sequence number being written back.
+        seq: u64,
+        /// Value being written back.
+        value: i64,
+    },
+    /// Replica → reader: acknowledgment of a write-back.
+    WriteBackAck {
+        /// Read-request identifier.
+        rid: u64,
+    },
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Payload.
+    pub message: AbdMessage,
+}
+
+/// The payload-independent shape of a message, used by [`EnvelopeKey`] so recorded
+/// schedules replay by *protocol role* (which request/ack of which operation) rather
+/// than by exact payload: a shrunk schedule that drops an earlier delivery may change a
+/// reply's `(seq, value)` without invalidating the later steps that deliver it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// A `WriteReq` carrying the given sequence number.
+    WriteReq(u64),
+    /// A `WriteAck` for the given sequence number.
+    WriteAck(u64),
+    /// A `ReadReq` of the given read id.
+    ReadReq(u64),
+    /// A `ReadReply` answering the given read id.
+    ReadReply(u64),
+    /// A `WriteBackReq` of the given read id.
+    WriteBackReq(u64),
+    /// A `WriteBackAck` for the given read id.
+    WriteBackAck(u64),
+}
+
+/// Identifies one protocol message of a run: endpoints plus [`MessageKind`]. In ABD
+/// every `(from, to, kind)` triple is sent at most once per operation, so a key names
+/// at most one in-flight envelope of the original run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvelopeKey {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Payload shape (operation identifier, no payload values).
+    pub kind: MessageKind,
+}
+
+impl Envelope {
+    /// The replay key of this envelope (see [`EnvelopeKey`]).
+    #[must_use]
+    pub fn key(&self) -> EnvelopeKey {
+        let kind = match self.message {
+            AbdMessage::WriteReq { seq, .. } => MessageKind::WriteReq(seq),
+            AbdMessage::WriteAck { seq } => MessageKind::WriteAck(seq),
+            AbdMessage::ReadReq { rid } => MessageKind::ReadReq(rid),
+            AbdMessage::ReadReply { rid, .. } => MessageKind::ReadReply(rid),
+            AbdMessage::WriteBackReq { rid, .. } => MessageKind::WriteBackReq(rid),
+            AbdMessage::WriteBackAck { rid } => MessageKind::WriteBackAck(rid),
+        };
+        EnvelopeKey {
+            from: self.from,
+            to: self.to,
+            kind,
+        }
+    }
+}
+
+/// An index-stable queue of in-flight messages.
+///
+/// # Index-stability contract
+///
+/// Every pushed envelope occupies a *slot*; the slot index identifies that envelope
+/// until the envelope is removed — by delivery ([`InflightQueue::take`]) or by a
+/// crash purge ([`InflightQueue::purge_process`]) — no matter how many other messages
+/// are delivered or sent in between: there is no compaction and no reindexing. After
+/// an envelope is removed its slot may be **reused by a later send**, so indices must
+/// not be held across the delivery of the message they name *or across a crash*
+/// (crashing a process drops its traffic and frees those slots). Each envelope also
+/// carries a monotone *stamp* (its send order), which is what the deterministic
+/// adversaries use for oldest/newest tie-breaking.
+///
+/// All operations are deterministic: the same sequence of pushes and takes yields the
+/// same slot assignment, stamps, and iteration order.
+#[derive(Debug, Clone, Default)]
+pub struct InflightQueue {
+    slots: Vec<Option<Envelope>>,
+    stamps: Vec<u64>,
+    /// Dense list of occupied slot indices (arbitrary but deterministic order).
+    occupied: Vec<usize>,
+    /// `pos[slot]` = index of `slot` in `occupied` (meaningless while the slot is free).
+    pos: Vec<usize>,
+    free: Vec<usize>,
+    next_stamp: u64,
+}
+
+impl InflightQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages currently in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// `true` if nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupied.is_empty()
+    }
+
+    /// Total number of slots ever allocated (occupied or free). Slot indices are always
+    /// `< slot_count()`.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues an envelope, returning the slot it occupies.
+    pub fn push(&mut self, env: Envelope) -> usize {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(env);
+                self.stamps[slot] = stamp;
+                slot
+            }
+            None => {
+                self.slots.push(Some(env));
+                self.stamps.push(stamp);
+                self.pos.push(0);
+                self.slots.len() - 1
+            }
+        };
+        self.pos[slot] = self.occupied.len();
+        self.occupied.push(slot);
+        slot
+    }
+
+    /// The envelope at `slot`, or `None` if the slot is free or out of range.
+    #[must_use]
+    pub fn get(&self, slot: usize) -> Option<&Envelope> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// The send stamp of the envelope at `slot` (monotone over pushes), or `None` if
+    /// the slot is free.
+    #[must_use]
+    pub fn stamp(&self, slot: usize) -> Option<u64> {
+        self.get(slot).map(|_| self.stamps[slot])
+    }
+
+    /// Removes and returns the envelope at `slot` in `O(1)`. No other slot moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free or out of range.
+    pub fn take(&mut self, slot: usize) -> Envelope {
+        let env = self.slots[slot]
+            .take()
+            .expect("InflightQueue::take on an empty slot");
+        let dense = self.pos[slot];
+        self.occupied.swap_remove(dense);
+        if let Some(&moved) = self.occupied.get(dense) {
+            self.pos[moved] = dense;
+        }
+        self.free.push(slot);
+        env
+    }
+
+    /// Drops every in-flight envelope for which `keep` returns `false`. Scans slots in
+    /// index order, so the result is deterministic. The freed slots may be reused by
+    /// later sends (see the index-stability contract above).
+    pub fn retain(&mut self, mut keep: impl FnMut(&Envelope) -> bool) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].as_ref().is_some_and(|env| !keep(env)) {
+                let _ = self.take(slot);
+            }
+        }
+    }
+
+    /// Drops every in-flight envelope sent by or addressed to `p` — the fail-stop
+    /// crash purge, shared by both clusters so their crash semantics cannot diverge.
+    pub fn purge_process(&mut self, p: ProcessId) {
+        self.retain(|env| env.from != p && env.to != p);
+    }
+
+    /// Iterates over `(slot, envelope)` pairs of the in-flight messages, in an
+    /// arbitrary (but deterministic) order. Use [`InflightQueue::oldest_matching`] /
+    /// [`InflightQueue::newest_matching`] for send-order scans.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Envelope)> {
+        self.occupied.iter().map(move |&slot| {
+            (
+                slot,
+                self.slots[slot].as_ref().expect("occupied slot is full"),
+            )
+        })
+    }
+
+    /// Slot index of the `dense_index`-th in-flight message (same arbitrary order as
+    /// [`InflightQueue::iter`]), in `O(1)` — this is what uniform-random delivery uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense_index >= len()`.
+    #[must_use]
+    pub fn slot_at(&self, dense_index: usize) -> usize {
+        self.occupied[dense_index]
+    }
+
+    /// The slot of the *oldest* (smallest stamp) in-flight envelope matching `pred`.
+    #[must_use]
+    pub fn oldest_matching(&self, mut pred: impl FnMut(&Envelope) -> bool) -> Option<usize> {
+        self.iter()
+            .filter(|(_, env)| pred(env))
+            .min_by_key(|&(slot, _)| self.stamps[slot])
+            .map(|(slot, _)| slot)
+    }
+
+    /// The slot of the *newest* (largest stamp) in-flight envelope matching `pred`.
+    #[must_use]
+    pub fn newest_matching(&self, mut pred: impl FnMut(&Envelope) -> bool) -> Option<usize> {
+        self.iter()
+            .filter(|(_, env)| pred(env))
+            .max_by_key(|&(slot, _)| self.stamps[slot])
+            .map(|(slot, _)| slot)
+    }
+
+    /// The slot of the oldest in-flight envelope whose [`Envelope::key`] equals `key`.
+    #[must_use]
+    pub fn find_key(&self, key: EnvelopeKey) -> Option<usize> {
+        self.oldest_matching(|env| env.key() == key)
+    }
+}
+
+/// A client-side event of a run: something the environment (not the network) does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The designated writer invokes `write(value)`.
+    StartWrite(i64),
+    /// Process `p` invokes a read.
+    StartRead(ProcessId),
+    /// Process `p` fail-stops.
+    Crash(ProcessId),
+}
+
+/// One step of a recorded [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleStep {
+    /// A client event fired at this point of the run.
+    Event(ClientEvent),
+    /// The message named by the key was delivered.
+    Deliver(EnvelopeKey),
+}
+
+/// A replayable recording of a run: client events interleaved with delivered message
+/// keys, in execution order.
+///
+/// Replay ([`Schedule::replay_on`]) is deterministic and *total*: events that can no
+/// longer fire (the process is busy or crashed) are skipped, and `Deliver` steps whose
+/// key names no in-flight message are skipped. Totality is what makes delta-debugging
+/// possible — any sub-sequence of a schedule is itself a valid schedule — while
+/// determinism makes every shrunk counterexample replay bit-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The recorded steps, in execution order.
+    pub steps: Vec<ScheduleStep>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of steps (events + deliveries).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the schedule has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of `Deliver` steps.
+    #[must_use]
+    pub fn delivery_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ScheduleStep::Deliver(_)))
+            .count()
+    }
+
+    /// Replays the schedule on a fresh cluster, returning the number of deliveries
+    /// actually performed (skipped steps are not counted).
+    pub fn replay_on<C: MessageCluster>(&self, cluster: &mut C) -> u64 {
+        let mut delivered = 0;
+        for step in &self.steps {
+            match step {
+                ScheduleStep::Event(event) => {
+                    let _ = cluster.apply_event(*event);
+                }
+                ScheduleStep::Deliver(key) => {
+                    if let Some(slot) = cluster.queue().find_key(*key) {
+                        cluster.deliver_slot(slot);
+                        delivered += 1;
+                    }
+                }
+            }
+        }
+        delivered
+    }
+}
+
+/// The capability surface the delivery core needs from a message-passing cluster.
+///
+/// Implemented by [`crate::AbdCluster`] and [`crate::FaultyAbdCluster`]; everything in
+/// `adversary.rs` and `minimize.rs` is generic over it. The provided methods are the
+/// single shared implementation of uniform-random delivery.
+pub trait MessageCluster {
+    /// The in-flight message queue (see [`InflightQueue`] for the index-stability
+    /// contract).
+    fn queue(&self) -> &InflightQueue;
+
+    /// Delivers the in-flight message at `slot`, processing it at its destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free or out of range.
+    fn deliver_slot(&mut self, slot: usize);
+
+    /// Starts a write of `value` by the designated writer if it is idle and alive;
+    /// returns `None` (without recording anything) otherwise.
+    fn try_start_write(&mut self, value: i64) -> Option<OpId>;
+
+    /// Starts a read by `p` if it is idle, alive, and in range; returns `None`
+    /// (without recording anything) otherwise.
+    fn try_start_read(&mut self, p: ProcessId) -> Option<OpId>;
+
+    /// Fail-stops `p`: it takes no further protocol steps and its in-flight traffic is
+    /// dropped.
+    fn crash_process(&mut self, p: ProcessId);
+
+    /// The recorded register-level history so far.
+    fn history(&self) -> History<i64>;
+
+    /// Number of processes.
+    fn process_count(&self) -> usize;
+
+    /// The designated writer.
+    fn writer(&self) -> ProcessId;
+
+    /// `true` if `p` has no operation in progress.
+    fn is_idle(&self, p: ProcessId) -> bool;
+
+    /// `true` if `p` has crashed.
+    fn is_crashed(&self, p: ProcessId) -> bool;
+
+    /// Number of messages currently in flight.
+    fn inflight_count(&self) -> usize {
+        self.queue().len()
+    }
+
+    /// Applies a [`ClientEvent`], returning `true` if it took effect (start events on a
+    /// busy or crashed process are skipped and return `false`).
+    fn apply_event(&mut self, event: ClientEvent) -> bool {
+        match event {
+            ClientEvent::StartWrite(value) => self.try_start_write(value).is_some(),
+            ClientEvent::StartRead(p) => self.try_start_read(p).is_some(),
+            ClientEvent::Crash(p) => {
+                self.crash_process(p);
+                true
+            }
+        }
+    }
+
+    /// Delivers one uniformly random in-flight message. Returns `false` if none exist.
+    fn deliver_random(&mut self, rng: &mut StdRng) -> bool {
+        let len = self.queue().len();
+        if len == 0 {
+            return false;
+        }
+        let slot = self.queue().slot_at(rng.gen_range(0..len));
+        self.deliver_slot(slot);
+        true
+    }
+
+    /// Delivers random messages until either nothing is in flight or `max_deliveries`
+    /// have been made. Returns the number of deliveries.
+    fn run_to_quiescence(&mut self, rng: &mut StdRng, max_deliveries: u64) -> u64 {
+        let mut count = 0;
+        while count < max_deliveries && self.deliver_random(rng) {
+            count += 1;
+        }
+        count
+    }
+}
+
+/// Wraps a cluster and records everything done to it as a replayable [`Schedule`]:
+/// client events via [`ScheduleRun::start_write`] / [`ScheduleRun::start_read`] /
+/// [`ScheduleRun::crash`], deliveries via [`ScheduleRun::deliver_next`] (which asks a
+/// [`DeliveryAdversary`] to choose).
+#[derive(Debug)]
+pub struct ScheduleRun<C> {
+    cluster: C,
+    schedule: Schedule,
+    deliveries: u64,
+}
+
+impl<C: MessageCluster> ScheduleRun<C> {
+    /// Starts recording on (typically fresh) `cluster`.
+    pub fn new(cluster: C) -> Self {
+        ScheduleRun {
+            cluster,
+            schedule: Schedule::new(),
+            deliveries: 0,
+        }
+    }
+
+    /// The wrapped cluster.
+    pub fn cluster(&self) -> &C {
+        &self.cluster
+    }
+
+    /// Starts a write by the designated writer, recording it if it took effect.
+    pub fn start_write(&mut self, value: i64) -> Option<OpId> {
+        let op = self.cluster.try_start_write(value);
+        if op.is_some() {
+            self.schedule
+                .steps
+                .push(ScheduleStep::Event(ClientEvent::StartWrite(value)));
+        }
+        op
+    }
+
+    /// Starts a read by `p`, recording it if it took effect.
+    pub fn start_read(&mut self, p: ProcessId) -> Option<OpId> {
+        let op = self.cluster.try_start_read(p);
+        if op.is_some() {
+            self.schedule
+                .steps
+                .push(ScheduleStep::Event(ClientEvent::StartRead(p)));
+        }
+        op
+    }
+
+    /// Crashes `p`, recording the event.
+    pub fn crash(&mut self, p: ProcessId) {
+        self.cluster.crash_process(p);
+        self.schedule
+            .steps
+            .push(ScheduleStep::Event(ClientEvent::Crash(p)));
+    }
+
+    /// Asks `adversary` to choose the next delivery and performs it. Returns `false`
+    /// if nothing is in flight or the adversary declines (`None`).
+    pub fn deliver_next(&mut self, adversary: &mut dyn DeliveryAdversary) -> bool {
+        if self.cluster.queue().is_empty() {
+            return false;
+        }
+        let view = DeliveryView {
+            queue: self.cluster.queue(),
+            deliveries: self.deliveries,
+        };
+        let Some(slot) = adversary.next_delivery(&view) else {
+            return false;
+        };
+        let key = self
+            .cluster
+            .queue()
+            .get(slot)
+            .expect("adversary must choose an occupied slot")
+            .key();
+        self.cluster.deliver_slot(slot);
+        self.schedule.steps.push(ScheduleStep::Deliver(key));
+        self.deliveries += 1;
+        true
+    }
+
+    /// Drives `adversary` until quiescence, refusal, or `max_deliveries` total
+    /// deliveries. Returns the number of deliveries made by this call.
+    pub fn run_with(&mut self, adversary: &mut dyn DeliveryAdversary, max_deliveries: u64) -> u64 {
+        let mut count = 0;
+        while self.deliveries < max_deliveries && self.deliver_next(adversary) {
+            count += 1;
+        }
+        count
+    }
+
+    /// Total deliveries recorded so far.
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// The recorded register-level history so far.
+    #[must_use]
+    pub fn history(&self) -> History<i64> {
+        self.cluster.history()
+    }
+
+    /// The schedule recorded so far.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Consumes the recorder, returning the schedule.
+    #[must_use]
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(from: usize, to: usize, seq: u64) -> Envelope {
+        Envelope {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            message: AbdMessage::WriteReq { seq, value: 0 },
+        }
+    }
+
+    #[test]
+    fn slots_are_stable_across_deliveries() {
+        let mut q = InflightQueue::new();
+        let a = q.push(env(0, 1, 1));
+        let b = q.push(env(0, 2, 2));
+        let c = q.push(env(0, 3, 3));
+        assert_eq!(q.len(), 3);
+        let taken = q.take(b);
+        assert_eq!(taken.to, ProcessId(2));
+        // The other slots still name the same envelopes.
+        assert_eq!(q.get(a).unwrap().to, ProcessId(1));
+        assert_eq!(q.get(c).unwrap().to, ProcessId(3));
+        assert!(q.get(b).is_none());
+        // A freed slot may be reused by a later push.
+        let d = q.push(env(1, 4, 4));
+        assert_eq!(d, b);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn stamps_order_oldest_and_newest() {
+        let mut q = InflightQueue::new();
+        let a = q.push(env(0, 1, 1));
+        let b = q.push(env(0, 1, 2));
+        let c = q.push(env(0, 2, 3));
+        assert_eq!(q.oldest_matching(|_| true), Some(a));
+        assert_eq!(q.newest_matching(|_| true), Some(c));
+        assert_eq!(q.oldest_matching(|e| e.to == ProcessId(1)), Some(a));
+        q.take(a);
+        assert_eq!(q.oldest_matching(|e| e.to == ProcessId(1)), Some(b));
+        // Reused slots get fresh stamps: the reused slot is now the newest.
+        let d = q.push(env(0, 9, 9));
+        assert_eq!(d, a);
+        assert_eq!(q.newest_matching(|_| true), Some(d));
+    }
+
+    #[test]
+    fn retain_drops_matching_envelopes() {
+        let mut q = InflightQueue::new();
+        for i in 0..6 {
+            q.push(env(i % 2, i, i as u64));
+        }
+        q.retain(|e| e.from != ProcessId(1));
+        assert_eq!(q.len(), 3);
+        assert!(q.iter().all(|(_, e)| e.from == ProcessId(0)));
+    }
+
+    #[test]
+    fn find_key_matches_protocol_role_not_payload() {
+        let mut q = InflightQueue::new();
+        let slot = q.push(Envelope {
+            from: ProcessId(2),
+            to: ProcessId(0),
+            message: AbdMessage::ReadReply {
+                rid: 5,
+                seq: 3,
+                value: 42,
+            },
+        });
+        let key = q.get(slot).unwrap().key();
+        // A reply with a different payload but the same role still matches.
+        let mut q2 = InflightQueue::new();
+        let slot2 = q2.push(Envelope {
+            from: ProcessId(2),
+            to: ProcessId(0),
+            message: AbdMessage::ReadReply {
+                rid: 5,
+                seq: 0,
+                value: 0,
+            },
+        });
+        assert_eq!(q2.find_key(key), Some(slot2));
+        // Different endpoints or rid do not match.
+        assert!(q2
+            .find_key(EnvelopeKey {
+                from: ProcessId(1),
+                ..key
+            })
+            .is_none());
+    }
+}

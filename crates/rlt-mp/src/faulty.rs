@@ -6,29 +6,18 @@
 //! use it to show that the checkers of [`rlt_spec`] actually *reject* such histories —
 //! i.e. that the positive results for real ABD (experiment E8 / Theorem 14) are not
 //! vacuously true.
+//!
+//! It speaks the same wire language ([`AbdMessage`] / [`Envelope`]) and runs on the
+//! same delivery core ([`MessageCluster`]) as the correct cluster, so every
+//! [`crate::adversary::DeliveryAdversary`] and recorded [`crate::delivery::Schedule`]
+//! applies to both — the faulty variant simply never sends the write-back messages.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::delivery::{AbdMessage, Envelope, InflightQueue, MessageCluster};
 use rlt_spec::{History, OpId, OpKind, Operation, ProcessId, RegisterId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Register id used by the faulty implementation in recorded histories.
 pub const FAULTY_REGISTER: RegisterId = RegisterId(401);
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Msg {
-    WriteReq { seq: u64, value: i64 },
-    WriteAck { seq: u64 },
-    ReadReq { rid: u64 },
-    ReadReply { rid: u64, seq: u64, value: i64 },
-}
-
-#[derive(Debug, Clone)]
-struct Env {
-    from: ProcessId,
-    to: ProcessId,
-    msg: Msg,
-}
 
 #[derive(Debug, Clone)]
 enum Client {
@@ -52,7 +41,8 @@ pub struct FaultyAbdCluster {
     writer: ProcessId,
     replicas: Vec<(u64, i64)>,
     clients: Vec<Client>,
-    inflight: Vec<Env>,
+    inflight: InflightQueue,
+    crashed: BTreeSet<usize>,
     now: u64,
     next_op: u64,
     next_rid: u64,
@@ -75,7 +65,8 @@ impl FaultyAbdCluster {
             writer,
             replicas: vec![(0, 0); n],
             clients: vec![Client::Idle; n],
-            inflight: Vec::new(),
+            inflight: InflightQueue::new(),
+            crashed: BTreeSet::new(),
             now: 0,
             next_op: 0,
             next_rid: 0,
@@ -84,19 +75,46 @@ impl FaultyAbdCluster {
         }
     }
 
+    /// Number of processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// The designated writer.
+    #[must_use]
+    pub fn writer(&self) -> ProcessId {
+        self.writer
+    }
+
     fn tick(&mut self) -> Time {
         self.now += 1;
         Time(self.now)
     }
 
-    fn broadcast(&mut self, from: ProcessId, msg: Msg) {
-        for to in 0..self.n {
-            self.inflight.push(Env {
-                from,
-                to: ProcessId(to),
-                msg: msg.clone(),
-            });
+    fn send(&mut self, from: ProcessId, to: ProcessId, message: AbdMessage) {
+        if !self.crashed.contains(&to.0) {
+            self.inflight.push(Envelope { from, to, message });
         }
+    }
+
+    fn broadcast(&mut self, from: ProcessId, message: AbdMessage) {
+        for to in 0..self.n {
+            self.send(from, ProcessId(to), message.clone());
+        }
+    }
+
+    /// Marks a process as crashed (fail-stop), dropping its in-flight traffic — same
+    /// semantics as [`crate::AbdCluster::crash`].
+    pub fn crash(&mut self, p: ProcessId) {
+        self.crashed.insert(p.0);
+        self.inflight.purge_process(p);
+    }
+
+    /// Returns `true` if `p` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed.contains(&p.0)
     }
 
     /// Returns `true` if `p` has no operation in progress.
@@ -109,9 +127,10 @@ impl FaultyAbdCluster {
     ///
     /// # Panics
     ///
-    /// Panics if the writer is busy.
+    /// Panics if the writer is busy or has crashed.
     pub fn start_write(&mut self, value: i64) -> OpId {
         let w = self.writer;
+        assert!(!self.is_crashed(w), "the writer has crashed");
         assert!(self.is_idle(w), "writer busy");
         let op = OpId(self.next_op);
         self.next_op += 1;
@@ -131,7 +150,7 @@ impl FaultyAbdCluster {
             seq,
             acks: BTreeSet::new(),
         };
-        self.broadcast(w, Msg::WriteReq { seq, value });
+        self.broadcast(w, AbdMessage::WriteReq { seq, value });
         op
     }
 
@@ -139,9 +158,10 @@ impl FaultyAbdCluster {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is busy or out of range.
+    /// Panics if `p` is busy, has crashed, or is out of range.
     pub fn start_read(&mut self, p: ProcessId) -> OpId {
         assert!(p.0 < self.n, "process out of range");
+        assert!(!self.is_crashed(p), "process {p} has crashed");
         assert!(self.is_idle(p), "process busy");
         let op = OpId(self.next_op);
         self.next_op += 1;
@@ -161,7 +181,7 @@ impl FaultyAbdCluster {
             rid,
             replies: BTreeMap::new(),
         };
-        self.broadcast(p, Msg::ReadReq { rid });
+        self.broadcast(p, AbdMessage::ReadReq { rid });
         op
     }
 
@@ -171,27 +191,34 @@ impl FaultyAbdCluster {
         self.inflight.len()
     }
 
-    /// Delivers the in-flight message at `index`.
+    /// The in-flight messages (index-stable; see [`crate::AbdCluster::inflight`] for
+    /// the contract).
+    #[must_use]
+    pub fn inflight(&self) -> &InflightQueue {
+        &self.inflight
+    }
+
+    /// Delivers the in-flight message at `slot`.
     ///
     /// # Panics
     ///
-    /// Panics if the index is out of bounds.
-    pub fn deliver(&mut self, index: usize) {
-        let env = self.inflight.remove(index);
+    /// Panics if the slot is free or out of bounds.
+    pub fn deliver(&mut self, slot: usize) {
+        let env = self.inflight.take(slot);
         let to = env.to;
+        debug_assert!(
+            !self.is_crashed(to),
+            "messages to crashed processes are purged on crash"
+        );
         self.tick();
-        match env.msg {
-            Msg::WriteReq { seq, value } => {
+        match env.message {
+            AbdMessage::WriteReq { seq, value } => {
                 if seq > self.replicas[to.0].0 {
                     self.replicas[to.0] = (seq, value);
                 }
-                self.inflight.push(Env {
-                    from: to,
-                    to: env.from,
-                    msg: Msg::WriteAck { seq },
-                });
+                self.send(to, env.from, AbdMessage::WriteAck { seq });
             }
-            Msg::WriteAck { seq } => {
+            AbdMessage::WriteAck { seq } => {
                 if let Client::Writing { op, seq: s, acks } = &mut self.clients[to.0] {
                     if *s == seq {
                         acks.insert(env.from.0);
@@ -203,15 +230,11 @@ impl FaultyAbdCluster {
                     }
                 }
             }
-            Msg::ReadReq { rid } => {
+            AbdMessage::ReadReq { rid } => {
                 let (seq, value) = self.replicas[to.0];
-                self.inflight.push(Env {
-                    from: to,
-                    to: env.from,
-                    msg: Msg::ReadReply { rid, seq, value },
-                });
+                self.send(to, env.from, AbdMessage::ReadReply { rid, seq, value });
             }
-            Msg::ReadReply { rid, seq, value } => {
+            AbdMessage::ReadReply { rid, seq, value } => {
                 if let Client::Reading {
                     op,
                     rid: r,
@@ -231,6 +254,9 @@ impl FaultyAbdCluster {
                     }
                 }
             }
+            // The faulty variant never sends write-back traffic; tolerate (and drop)
+            // it anyway so that schedules recorded on the correct cluster replay here.
+            AbdMessage::WriteBackReq { .. } | AbdMessage::WriteBackAck { .. } => {}
         }
     }
 
@@ -241,25 +267,6 @@ impl FaultyAbdCluster {
         if let Some(v) = read_value {
             rec.kind = OpKind::Read(Some(v));
         }
-    }
-
-    /// Delivers one random in-flight message; returns `false` if none exist.
-    pub fn deliver_random(&mut self, rng: &mut StdRng) -> bool {
-        if self.inflight.is_empty() {
-            return false;
-        }
-        let idx = rng.gen_range(0..self.inflight.len());
-        self.deliver(idx);
-        true
-    }
-
-    /// Delivers random messages until quiescence or the budget runs out.
-    pub fn run_to_quiescence(&mut self, rng: &mut StdRng, max: u64) -> u64 {
-        let mut count = 0;
-        while count < max && self.deliver_random(rng) {
-            count += 1;
-        }
-        count
     }
 
     /// The recorded register-level history.
@@ -274,6 +281,9 @@ impl FaultyAbdCluster {
     /// later read queries a majority *excluding* it (so it observes the old value).
     /// With the write-back phase the first read would have repaired the gap; without
     /// it, the history is not linearizable. Returns the recorded history.
+    ///
+    /// (The [`crate::adversary::ReplyWithholdingAdversary`] reaches the same shape
+    /// without this hand construction.)
     ///
     /// # Panics
     ///
@@ -291,33 +301,33 @@ impl FaultyAbdCluster {
         // The write reaches replica 1 only; it never gathers a majority of acks, so it
         // remains pending for the rest of the run.
         c.start_write(7);
-        let idx = c
+        let slot = c
             .inflight
-            .iter()
-            .position(|e| matches!(e.msg, Msg::WriteReq { .. }) && e.to == ProcessId(1))
+            .oldest_matching(|e| {
+                matches!(e.message, AbdMessage::WriteReq { .. }) && e.to == ProcessId(1)
+            })
             .expect("write request to replica 1");
-        c.deliver(idx);
+        c.deliver(slot);
 
         // First read by p1: its queries reach a majority that includes replica 1.
         c.start_read(ProcessId(1));
         let mut answered = 0;
         while answered < majority {
-            let idx = c
+            let slot = c
                 .inflight
-                .iter()
-                .position(|e| {
-                    matches!(e.msg, Msg::ReadReq { rid } if rid == 1) && e.to.0 < majority
+                .oldest_matching(|e| {
+                    matches!(e.message, AbdMessage::ReadReq { rid } if rid == 1)
+                        && e.to.0 < majority
                 })
                 .expect("read-1 request to a low-indexed replica");
-            c.deliver(idx);
+            c.deliver(slot);
             answered += 1;
         }
-        while let Some(idx) = c
+        while let Some(slot) = c
             .inflight
-            .iter()
-            .position(|e| matches!(e.msg, Msg::ReadReply { rid, .. } if rid == 1))
+            .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReply { rid, .. } if rid == 1))
         {
-            c.deliver(idx);
+            c.deliver(slot);
         }
 
         // Second read by p2 (it starts only after the first read responded): its
@@ -325,30 +335,73 @@ impl FaultyAbdCluster {
         c.start_read(ProcessId(2));
         let mut answered = 0;
         while answered < majority {
-            let idx = c
+            let slot = c
                 .inflight
-                .iter()
-                .position(|e| {
-                    matches!(e.msg, Msg::ReadReq { rid } if rid == 2) && e.to != ProcessId(1)
+                .oldest_matching(|e| {
+                    matches!(e.message, AbdMessage::ReadReq { rid } if rid == 2)
+                        && e.to != ProcessId(1)
                 })
                 .expect("read-2 request to a replica other than replica 1");
-            c.deliver(idx);
+            c.deliver(slot);
             answered += 1;
         }
-        while let Some(idx) = c
+        while let Some(slot) = c
             .inflight
-            .iter()
-            .position(|e| matches!(e.msg, Msg::ReadReply { rid, .. } if rid == 2))
+            .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReply { rid, .. } if rid == 2))
         {
-            c.deliver(idx);
+            c.deliver(slot);
         }
         c.history()
+    }
+}
+
+impl MessageCluster for FaultyAbdCluster {
+    fn queue(&self) -> &InflightQueue {
+        &self.inflight
+    }
+
+    fn deliver_slot(&mut self, slot: usize) {
+        FaultyAbdCluster::deliver(self, slot);
+    }
+
+    fn try_start_write(&mut self, value: i64) -> Option<OpId> {
+        let w = self.writer;
+        (!self.is_crashed(w) && self.is_idle(w)).then(|| self.start_write(value))
+    }
+
+    fn try_start_read(&mut self, p: ProcessId) -> Option<OpId> {
+        (p.0 < self.n && !self.is_crashed(p) && self.is_idle(p)).then(|| self.start_read(p))
+    }
+
+    fn crash_process(&mut self, p: ProcessId) {
+        FaultyAbdCluster::crash(self, p);
+    }
+
+    fn history(&self) -> History<i64> {
+        FaultyAbdCluster::history(self)
+    }
+
+    fn process_count(&self) -> usize {
+        self.n
+    }
+
+    fn writer(&self) -> ProcessId {
+        self.writer
+    }
+
+    fn is_idle(&self, p: ProcessId) -> bool {
+        FaultyAbdCluster::is_idle(self, p)
+    }
+
+    fn is_crashed(&self, p: ProcessId) -> bool {
+        FaultyAbdCluster::is_crashed(self, p)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use rlt_spec::Checker;
 

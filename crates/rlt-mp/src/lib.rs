@@ -10,6 +10,17 @@
 //!   each acting as a replica and a client, communicating through messages whose
 //!   delivery order is controlled by the caller (the adversary), with crash failures of
 //!   a minority of processes.
+//! * [`FaultyAbdCluster`] — ABD with the read write-back removed, the negative control
+//!   whose histories the checkers must reject.
+//! * The shared [`delivery`] core: the index-stable [`InflightQueue`], the
+//!   [`MessageCluster`] trait both clusters implement (home of the shared
+//!   random-delivery helpers), and replayable recorded [`Schedule`]s.
+//! * First-class message-schedule [`adversary`] implementations — uniform baseline,
+//!   FIFO/LIFO, destination starving, and the targeted [`ReplyWithholdingAdversary`]
+//!   that forces the faulty cluster's new/old inversion in a handful of deliveries —
+//!   plus the [`adversary::hunt_new_old_inversion`] counterexample search.
+//! * A seeded delta-debugging [`minimize`]r that shrinks a failing schedule to a
+//!   1-minimal counterexample which replays deterministically.
 //! * Recorded register-level histories ready to be checked with [`rlt_spec`]:
 //!   linearizability via a [`rlt_spec::Checker`] session and the Theorem 14 property
 //!   via [`rlt_spec::swmr::SwmrCanonical`] and
@@ -18,7 +29,7 @@
 //! # Example
 //!
 //! ```
-//! use rlt_mp::AbdCluster;
+//! use rlt_mp::{AbdCluster, MessageCluster};
 //! use rlt_spec::prelude::*;
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
@@ -32,12 +43,54 @@
 //! let history = cluster.history();
 //! assert!(Checker::new(0i64).check(&history).is_linearizable());
 //! ```
+//!
+//! Hunting a counterexample on the faulty cluster with a targeted adversary, then
+//! shrinking it:
+//!
+//! ```
+//! use rlt_mp::adversary::{hunt_new_old_inversion, ReplyWithholdingAdversary};
+//! use rlt_mp::minimize::minimize_schedule;
+//! use rlt_mp::{FaultyAbdCluster, MessageCluster};
+//! use rlt_spec::{Checker, ProcessId};
+//!
+//! let checker = Checker::new(0i64);
+//! let mut adversary = ReplyWithholdingAdversary::new();
+//! let report = hunt_new_old_inversion(
+//!     FaultyAbdCluster::new(5, ProcessId(0)),
+//!     &mut adversary,
+//!     1,      // scenario seed
+//!     1_000,  // delivery budget
+//!     &checker,
+//! );
+//! assert!(report.violation_at.is_some());
+//! let minimal = minimize_schedule(
+//!     || FaultyAbdCluster::new(5, ProcessId(0)),
+//!     &report.schedule,
+//!     |h| matches!(checker.check(h).outcome(), Ok(false)),
+//!     1,
+//! )
+//! .schedule;
+//! let mut replay = FaultyAbdCluster::new(5, ProcessId(0));
+//! minimal.replay_on(&mut replay);
+//! assert!(!checker.check(&replay.history()).is_linearizable());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod abd;
+pub mod adversary;
+pub mod delivery;
 pub mod faulty;
+pub mod minimize;
 
-pub use abd::{AbdCluster, AbdMessage, Envelope, ABD_REGISTER};
+pub use abd::{AbdCluster, ABD_REGISTER};
+pub use adversary::{
+    DeliveryAdversary, DeliveryView, NewestFirstAdversary, OldestFirstAdversary,
+    ReplyWithholdingAdversary, ScriptedAdversary, StarveDestinationAdversary, UniformAdversary,
+};
+pub use delivery::{
+    AbdMessage, ClientEvent, Envelope, EnvelopeKey, InflightQueue, MessageCluster, MessageKind,
+    Schedule, ScheduleRun, ScheduleStep,
+};
 pub use faulty::FaultyAbdCluster;

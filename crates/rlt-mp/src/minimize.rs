@@ -1,0 +1,183 @@
+//! Seeded delta-debugging minimization of failing message schedules.
+//!
+//! A hunt (see [`crate::adversary::hunt_new_old_inversion`]) produces a recorded
+//! [`Schedule`] whose replay exhibits some property — typically "the history is not
+//! linearizable" via a [`rlt_spec::Checker`] session. [`minimize_schedule`] shrinks
+//! that schedule while the property keeps holding: classic ddmin chunk removal
+//! (halving granularity down to single steps), with the order in which chunks are
+//! tried shuffled by a seed so different seeds can reach different local minima.
+//!
+//! Removal is sound because schedule replay is *total*: dropping a delivery simply
+//! leaves that message undelivered forever (asynchrony allows it), and dropping a
+//! client event skips the operation. Determinism of replay means the returned minimum
+//! re-fails identically on every future replay — a portable regression input.
+
+use crate::delivery::{MessageCluster, Schedule, ScheduleStep};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlt_spec::History;
+
+/// Result of [`minimize_schedule`].
+#[derive(Debug)]
+pub struct MinimizeReport {
+    /// The 1-minimal schedule: removing any single remaining step breaks the
+    /// predicate.
+    pub schedule: Schedule,
+    /// Number of candidate replays tried.
+    pub replays_tried: u64,
+}
+
+/// Shrinks `schedule` to a 1-minimal sub-sequence whose replay (on a fresh cluster
+/// from `make_cluster`) still satisfies `predicate` on the resulting history.
+///
+/// `seed` shuffles the order in which chunks are tried at each granularity; the result
+/// is a pure function of `(make_cluster, schedule, predicate, seed)`.
+///
+/// # Panics
+///
+/// Panics if the full schedule does not itself satisfy the predicate — minimizing a
+/// non-failing input is always a caller bug.
+pub fn minimize_schedule<C, F, P>(
+    make_cluster: F,
+    schedule: &Schedule,
+    predicate: P,
+    seed: u64,
+) -> MinimizeReport
+where
+    C: MessageCluster,
+    F: Fn() -> C,
+    P: Fn(&History<i64>) -> bool,
+{
+    let mut replays_tried = 0u64;
+    let mut holds = |steps: &[ScheduleStep]| {
+        replays_tried += 1;
+        let mut cluster = make_cluster();
+        Schedule {
+            steps: steps.to_vec(),
+        }
+        .replay_on(&mut cluster);
+        predicate(&cluster.history())
+    };
+    assert!(
+        holds(&schedule.steps),
+        "minimize_schedule: the full schedule must satisfy the predicate"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = schedule.steps.clone();
+    let mut chunk = (steps.len() / 2).max(1);
+    loop {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let chunks = steps.len().div_ceil(chunk);
+            // Seeded Fisher–Yates over the chunk order: different seeds explore
+            // different removal orders and may land in different 1-minima.
+            let mut order: Vec<usize> = (0..chunks).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for ci in order {
+                let lo = ci * chunk;
+                if lo >= steps.len() {
+                    continue;
+                }
+                let hi = (lo + chunk).min(steps.len());
+                let mut candidate = steps.clone();
+                candidate.drain(lo..hi);
+                if holds(&candidate) {
+                    steps = candidate;
+                    progress = true;
+                    break; // chunk boundaries moved; recompute the scan
+                }
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    MinimizeReport {
+        schedule: Schedule { steps },
+        replays_tried,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{hunt_new_old_inversion, ReplyWithholdingAdversary};
+    use crate::FaultyAbdCluster;
+    use rlt_spec::{Checker, ProcessId};
+
+    fn fresh() -> FaultyAbdCluster {
+        FaultyAbdCluster::new(5, ProcessId(0))
+    }
+
+    fn failing_schedule(scenario_seed: u64) -> Schedule {
+        let checker = Checker::new(0i64);
+        let mut adv = ReplyWithholdingAdversary::new();
+        let report = hunt_new_old_inversion(fresh(), &mut adv, scenario_seed, 500, &checker);
+        assert!(report.violation_at.is_some(), "hunt must find a violation");
+        report.schedule
+    }
+
+    #[test]
+    fn minimized_schedule_still_fails_and_replays_bit_identically() {
+        let checker = Checker::new(0i64);
+        let schedule = failing_schedule(1);
+        let not_linearizable =
+            |h: &rlt_spec::History<i64>| matches!(checker.check(h).outcome(), Ok(false));
+        let report = minimize_schedule(fresh, &schedule, not_linearizable, 7);
+        let minimal = &report.schedule;
+        assert!(minimal.len() <= schedule.len());
+        assert!(
+            minimal.delivery_count() <= 25,
+            "shrunk to {} deliveries",
+            minimal.delivery_count()
+        );
+        // Still failing, and deterministically so: two replays agree exactly.
+        let (mut a, mut b) = (fresh(), fresh());
+        minimal.replay_on(&mut a);
+        minimal.replay_on(&mut b);
+        assert_eq!(a.history(), b.history());
+        assert!(not_linearizable(&a.history()));
+    }
+
+    #[test]
+    fn minimization_is_one_minimal() {
+        let checker = Checker::new(0i64);
+        let schedule = failing_schedule(2);
+        let not_linearizable =
+            |h: &rlt_spec::History<i64>| matches!(checker.check(h).outcome(), Ok(false));
+        let minimal = minimize_schedule(fresh, &schedule, not_linearizable, 3).schedule;
+        // Removing any single remaining step breaks the predicate.
+        for i in 0..minimal.len() {
+            let mut steps = minimal.steps.clone();
+            steps.remove(i);
+            let mut cluster = fresh();
+            Schedule { steps }.replay_on(&mut cluster);
+            assert!(
+                !not_linearizable(&cluster.history()),
+                "step {i} of the minimum is removable"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_may_differ() {
+        let checker = Checker::new(0i64);
+        let schedule = failing_schedule(1);
+        let not_linearizable =
+            |h: &rlt_spec::History<i64>| matches!(checker.check(h).outcome(), Ok(false));
+        let a = minimize_schedule(fresh, &schedule, not_linearizable, 11).schedule;
+        let b = minimize_schedule(fresh, &schedule, not_linearizable, 11).schedule;
+        assert_eq!(a, b, "same seed, same minimum");
+    }
+
+    #[test]
+    #[should_panic(expected = "must satisfy the predicate")]
+    fn minimizing_a_passing_schedule_panics() {
+        let schedule = Schedule::new();
+        let _ = minimize_schedule(fresh, &schedule, |_| false, 0);
+    }
+}

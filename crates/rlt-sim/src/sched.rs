@@ -79,13 +79,20 @@ impl Adversary for RandomAdversary {
 }
 
 /// Round-robin scheduling (fair, deterministic).
+///
+/// The rotation is tracked by [`ProcessId`], not by position in the runnable list: a
+/// positional cursor (`cursor % runnable.len()`) stops being round-robin as soon as
+/// any process terminates, because the survivors shift underneath it — the process
+/// that was due next can be skipped and an already-served one scheduled twice in a
+/// row. Tracking the last-served id keeps the successor order exact no matter how the
+/// runnable set shrinks.
 #[derive(Debug, Default)]
 pub struct RoundRobinAdversary {
-    cursor: usize,
+    last: Option<ProcessId>,
 }
 
 impl RoundRobinAdversary {
-    /// Creates a round-robin adversary starting from the first process.
+    /// Creates a round-robin adversary starting from the lowest-id process.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -94,8 +101,21 @@ impl RoundRobinAdversary {
 
 impl Adversary for RoundRobinAdversary {
     fn next_process(&mut self, view: &AdversaryView<'_>) -> ProcessId {
-        let pid = view.runnable[self.cursor % view.runnable.len()];
-        self.cursor = self.cursor.wrapping_add(1);
+        // Smallest runnable id strictly after the last-served one, wrapping to the
+        // smallest runnable id overall.
+        let successor = |last: ProcessId| view.runnable.iter().copied().filter(|p| *p > last).min();
+        let first = || {
+            view.runnable
+                .iter()
+                .copied()
+                .min()
+                .expect("runnable is never empty")
+        };
+        let pid = match self.last {
+            Some(last) => successor(last).unwrap_or_else(first),
+            None => first(),
+        };
+        self.last = Some(pid);
         pid
     }
 }
@@ -330,6 +350,67 @@ mod tests {
                 "seed {seed} produced a non-linearizable atomic history"
             );
         }
+    }
+
+    #[test]
+    fn round_robin_stays_fair_when_a_process_terminates_early() {
+        // Regression test for the positional-cursor skew: with `cursor % len` over a
+        // shrinking runnable list, p1 terminating after its turn made the adversary
+        // jump back to p0 (serving it twice per cycle) while p2 waited. Tracking by
+        // ProcessId must continue the rotation at the terminated process's successor.
+        let mut adv = RoundRobinAdversary::new();
+        let pick = |adv: &mut RoundRobinAdversary, runnable: &[ProcessId]| {
+            adv.next_process(&AdversaryView {
+                runnable,
+                steps: 0,
+                coin_log: &[],
+            })
+        };
+        let all = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        assert_eq!(pick(&mut adv, &all), ProcessId(0));
+        assert_eq!(pick(&mut adv, &all), ProcessId(1));
+        // p1 terminates right after its step. The rotation must continue with p2 —
+        // the old cursor implementation picked p0 here and starved p2's turn.
+        let survivors = [ProcessId(0), ProcessId(2)];
+        assert_eq!(pick(&mut adv, &survivors), ProcessId(2));
+        assert_eq!(pick(&mut adv, &survivors), ProcessId(0));
+        assert_eq!(pick(&mut adv, &survivors), ProcessId(2));
+        assert_eq!(pick(&mut adv, &survivors), ProcessId(0));
+    }
+
+    #[test]
+    fn round_robin_with_early_finisher_completes_all_processes() {
+        /// Terminates after `budget` steps without touching memory.
+        #[derive(Debug)]
+        struct Spinner {
+            budget: u32,
+        }
+        impl StepProcess<i64> for Spinner {
+            fn step(
+                &mut self,
+                _pid: ProcessId,
+                _mem: &mut SharedMem<i64>,
+                _coin: &mut CoinSource,
+            ) -> StepOutcome {
+                self.budget -= 1;
+                if self.budget == 0 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Running
+                }
+            }
+        }
+        let mem = SharedMem::new(RegisterMode::Atomic, 0i64);
+        let coin = CoinSource::new(1);
+        let mut sched = Scheduler::new(mem, coin, Box::new(RoundRobinAdversary::new()));
+        // p1 finishes after one step; p0 and p2 each need four.
+        sched.add_process(ProcessId(0), Box::new(Spinner { budget: 4 }));
+        sched.add_process(ProcessId(1), Box::new(Spinner { budget: 1 }));
+        sched.add_process(ProcessId(2), Box::new(Spinner { budget: 4 }));
+        let outcome = sched.run(100);
+        assert!(outcome.all_done);
+        // True round-robin: 0,1,2 then 0,2 repeated — exactly 1 + 4 + 4 steps.
+        assert_eq!(outcome.steps, 9);
     }
 
     #[test]
