@@ -20,8 +20,9 @@ use rand::SeedableRng;
 use rlt_mp::adversary::{hunt_new_old_inversion, HuntReport};
 use rlt_mp::minimize::minimize_schedule;
 use rlt_mp::{
-    AbdCluster, DeliveryAdversary, FaultyAbdCluster, MessageCluster, NewestFirstAdversary,
-    OldestFirstAdversary, ReplyWithholdingAdversary, StarveDestinationAdversary, UniformAdversary,
+    hunt_with_faults, AbdCluster, DeliveryAdversary, FaultPlan, FaultScenario, FaultyAbdCluster,
+    MessageCluster, NewestFirstAdversary, OldestFirstAdversary, ReplyWithholdingAdversary,
+    RetryPolicy, StarveDestinationAdversary, UniformAdversary,
 };
 use rlt_spec::{Checker, ProcessId};
 use std::fmt::Write as _;
@@ -102,6 +103,41 @@ fn adversary_rows(checker: &Checker<i64>) -> Vec<AdversaryRow> {
             }
         })
         .collect()
+}
+
+/// Loss probability of the E14 `faulty_lossy` row.
+pub const LOSSY_DROP_P: f64 = 0.1;
+
+/// The E14 row: the reply-withholding hunt on the faulty cluster, but under 10% link
+/// loss with timeout-driven retries — deliveries-to-counterexample, median over
+/// [`HUNT_SEEDS`] seeds. Deterministic: the fault injector and the workload both run
+/// off fixed seed streams.
+fn faulty_lossy_row(checker: &Checker<i64>) -> AdversaryRow {
+    let scenario = FaultScenario::new(FaultPlan::lossy(LOSSY_DROP_P), 0xe14);
+    let mut deliveries: Vec<u64> = Vec::with_capacity(HUNT_SEEDS as usize);
+    let mut found = 0u64;
+    for seed in 0..HUNT_SEEDS {
+        let mut adversary = ReplyWithholdingAdversary::new();
+        let report = hunt_with_faults(
+            FaultyAbdCluster::new(HUNT_PROCESSES, ProcessId(0))
+                .with_retries(RetryPolicy::default()),
+            &mut adversary,
+            &scenario,
+            seed,
+            HUNT_CAP,
+            checker,
+        );
+        found += u64::from(report.violation_at.is_some());
+        deliveries.push(report.violation_at.unwrap_or(HUNT_CAP));
+    }
+    deliveries.sort_unstable();
+    AdversaryRow {
+        adversary: "faulty_lossy",
+        found,
+        median_deliveries: deliveries[deliveries.len() / 2],
+        min_deliveries: deliveries[0],
+        max_deliveries: *deliveries.last().expect("HUNT_SEEDS > 0"),
+    }
 }
 
 struct MinimizeRow {
@@ -201,8 +237,10 @@ pub fn write_abd_json(out_path: &str) {
     }
 
     // E13: deliveries-to-counterexample per adversary, plus the minimizer row.
+    // E14: the same hunt under 10% link loss with retries.
     let checker = Checker::new(0i64);
     let hunts = adversary_rows(&checker);
+    let lossy = faulty_lossy_row(&checker);
     let minimize = minimize_row(&checker);
 
     let mut json = String::from("{\n  \"experiment\": \"E3-abd-cost\",\n  \"rows\": [\n");
@@ -259,6 +297,29 @@ pub fn write_abd_json(out_path: &str) {
         );
     }
     json.push_str("  ],\n");
+    eprintln!(
+        "{:>20}: median {:>4} deliveries to counterexample (found {}/{}, min {}, max {})",
+        lossy.adversary,
+        lossy.median_deliveries,
+        lossy.found,
+        HUNT_SEEDS,
+        lossy.min_deliveries,
+        lossy.max_deliveries
+    );
+    let _ = writeln!(
+        json,
+        "  \"fault_experiment\": \"E14-abd-fault-injection\",\n  \
+         \"fault_workload\": {{\"cluster\": \"faulty_abd\", \"processes\": {HUNT_PROCESSES}, \
+         \"drop_p\": {LOSSY_DROP_P}, \"retries\": true, \"seeds\": {HUNT_SEEDS}, \
+         \"delivery_cap\": {HUNT_CAP}}},\n  \
+         \"fault_rows\": [\n    {{\"adversary\": \"{}\", \"found\": {}, \
+         \"median_deliveries\": {}, \"min_deliveries\": {}, \"max_deliveries\": {}}}\n  ],",
+        lossy.adversary,
+        lossy.found,
+        lossy.median_deliveries,
+        lossy.min_deliveries,
+        lossy.max_deliveries
+    );
     eprintln!(
         "{:>20}: {} raw -> {} deliveries ({} steps) after {} replays, deterministic: {}",
         "minimized",

@@ -17,6 +17,7 @@
 //! [`MessageCluster`], or through a [`crate::adversary::DeliveryAdversary`].
 
 use crate::delivery::{InflightQueue, MessageCluster};
+use crate::faults::{RetryPolicy, SimNet};
 use rlt_spec::{History, OpId, OpKind, Operation, ProcessId, RegisterId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -31,6 +32,7 @@ enum ClientState {
     Writing {
         op: OpId,
         seq: u64,
+        value: i64,
         acks: BTreeSet<usize>,
     },
     ReadingQuery {
@@ -41,22 +43,28 @@ enum ClientState {
     ReadingWriteBack {
         op: OpId,
         rid: u64,
+        seq: u64,
         value: i64,
         acks: BTreeSet<usize>,
     },
 }
 
 /// A simulated ABD cluster of `n` processes implementing one SWMR register.
-#[derive(Debug, Clone)]
+///
+/// All network and failure behavior — the in-flight queue, crashes and recoveries,
+/// partitions, injected faults, the virtual clock, and (when enabled with
+/// [`AbdCluster::with_retries`]) timeout-driven client retransmission — lives in the
+/// embedded [`SimNet`]; this type holds only the protocol state machines.
+#[derive(Debug)]
 pub struct AbdCluster {
     n: usize,
     writer: ProcessId,
-    /// Replica state: the stored `(seq, value)` of each process.
+    /// Replica state: the stored `(seq, value)` of each process. This is the
+    /// *persisted* state: it survives a crash, so a recovered replica rejoins with
+    /// the `(timestamp, value)` it had when it failed.
     replicas: Vec<(u64, i64)>,
     clients: Vec<ClientState>,
-    inflight: InflightQueue,
-    crashed: BTreeSet<usize>,
-    now: u64,
+    net: SimNet,
     next_op: u64,
     next_rid: u64,
     writer_seq: u64,
@@ -79,14 +87,23 @@ impl AbdCluster {
             writer,
             replicas: vec![(0, 0); n],
             clients: vec![ClientState::Idle; n],
-            inflight: InflightQueue::new(),
-            crashed: BTreeSet::new(),
-            now: 0,
+            net: SimNet::new(n),
             next_op: 0,
             next_rid: 0,
             writer_seq: 0,
             ops: Vec::new(),
         }
+    }
+
+    /// Enables timeout-driven client retry under `policy`: a client whose protocol
+    /// phase stalls (lost, delayed, or partitioned traffic) re-broadcasts that phase's
+    /// requests with bounded exponential backoff when virtual time advances past its
+    /// timeout. Without this, the cluster's behavior is bit-identical to the
+    /// retry-free original.
+    #[must_use]
+    pub fn with_retries(mut self, policy: RetryPolicy) -> Self {
+        self.net.set_retry(policy);
+        self
     }
 
     /// Number of processes.
@@ -108,8 +125,7 @@ impl AbdCluster {
     }
 
     fn tick(&mut self) -> Time {
-        self.now += 1;
-        Time(self.now)
+        self.net.tick()
     }
 
     fn fresh_op(&mut self) -> OpId {
@@ -118,12 +134,11 @@ impl AbdCluster {
         id
     }
 
-    /// Enqueues a message unless the destination has crashed (sending to a dead
-    /// process is a no-op: nothing will ever process it).
+    /// Routes a message through the fault layer: dropped (and counted) if the
+    /// destination has crashed, parked if the link is partitioned, in flight
+    /// otherwise.
     fn send(&mut self, from: ProcessId, to: ProcessId, message: AbdMessage) {
-        if !self.crashed.contains(&to.0) {
-            self.inflight.push(Envelope { from, to, message });
-        }
+        self.net.send(Envelope { from, to, message });
     }
 
     fn broadcast(&mut self, from: ProcessId, message: AbdMessage) {
@@ -137,14 +152,26 @@ impl AbdCluster {
     /// it — is dropped from the network. Its pending operation (if any) therefore
     /// stays pending forever; it can never retroactively complete.
     pub fn crash(&mut self, p: ProcessId) {
-        self.crashed.insert(p.0);
-        self.inflight.purge_process(p);
+        self.net.crash(p);
+    }
+
+    /// Recovers a crashed process: it rejoins with its *persisted* replica state (the
+    /// `(seq, value)` pair survives the crash) and an idle client. Traffic of the
+    /// crashed incarnation stays purged, and an operation that was pending at the
+    /// crash stays pending forever — recovery starts a fresh incarnation, it does not
+    /// resume the old one. Returns `false` (a no-op) if `p` was not crashed.
+    pub fn recover(&mut self, p: ProcessId) -> bool {
+        if !self.net.recover(p) {
+            return false;
+        }
+        self.clients[p.0] = ClientState::Idle;
+        true
     }
 
     /// Returns `true` if `p` has crashed.
     #[must_use]
     pub fn is_crashed(&self, p: ProcessId) -> bool {
-        self.crashed.contains(&p.0)
+        self.net.is_crashed(p)
     }
 
     /// Returns `true` if `p` has no operation in progress.
@@ -180,9 +207,11 @@ impl AbdCluster {
         self.clients[w.0] = ClientState::Writing {
             op,
             seq,
+            value,
             acks: BTreeSet::new(),
         };
         self.broadcast(w, AbdMessage::WriteReq { seq, value });
+        self.net.arm_retry(w);
         op
     }
 
@@ -217,13 +246,14 @@ impl AbdCluster {
             replies: BTreeMap::new(),
         };
         self.broadcast(p, AbdMessage::ReadReq { rid });
+        self.net.arm_retry(p);
         op
     }
 
     /// Number of messages currently in flight.
     #[must_use]
     pub fn inflight_count(&self) -> usize {
-        self.inflight.len()
+        self.net.queue().len()
     }
 
     /// The in-flight messages, for adversaries that want to pick precisely.
@@ -235,7 +265,7 @@ impl AbdCluster {
     /// [`InflightQueue`] for the full contract.
     #[must_use]
     pub fn inflight(&self) -> &InflightQueue {
-        &self.inflight
+        self.net.queue()
     }
 
     /// Delivers the in-flight message at `slot`, processing it at its destination.
@@ -244,7 +274,7 @@ impl AbdCluster {
     ///
     /// Panics if the slot is free or out of bounds.
     pub fn deliver(&mut self, slot: usize) {
-        let envelope = self.inflight.take(slot);
+        let envelope = self.net.take_slot(slot);
         let to = envelope.to;
         debug_assert!(
             !self.is_crashed(to),
@@ -263,6 +293,7 @@ impl AbdCluster {
                     op,
                     seq: pending_seq,
                     acks,
+                    ..
                 } = &mut self.clients[to.0]
                 {
                     if *pending_seq == seq {
@@ -270,6 +301,7 @@ impl AbdCluster {
                         if acks.len() > self.n / 2 {
                             let op = *op;
                             self.clients[to.0] = ClientState::Idle;
+                            self.net.cancel_retry(to);
                             self.respond(op, None);
                         }
                     }
@@ -297,6 +329,7 @@ impl AbdCluster {
                             self.clients[to.0] = ClientState::ReadingWriteBack {
                                 op,
                                 rid,
+                                seq: best_seq,
                                 value: best_value,
                                 acks: BTreeSet::new(),
                             };
@@ -308,6 +341,8 @@ impl AbdCluster {
                                     value: best_value,
                                 },
                             );
+                            // New protocol phase, fresh timeout from attempt zero.
+                            self.net.arm_retry(to);
                         }
                     }
                 }
@@ -324,6 +359,7 @@ impl AbdCluster {
                     rid: pending_rid,
                     value,
                     acks,
+                    ..
                 } = &mut self.clients[to.0]
                 {
                     if *pending_rid == rid {
@@ -332,12 +368,71 @@ impl AbdCluster {
                             let op = *op;
                             let value = *value;
                             self.clients[to.0] = ClientState::Idle;
+                            self.net.cancel_retry(to);
                             self.respond(op, Some(value));
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Re-broadcasts the requests of `p`'s current protocol phase to the processes
+    /// that have not answered yet, and re-arms the backed-off retry timer. ABD's
+    /// handlers are idempotent (sequence numbers and read ids guard every state
+    /// change), so retransmissions and the duplicate replies they provoke are
+    /// harmless.
+    fn retransmit(&mut self, p: ProcessId) {
+        if self.is_crashed(p) {
+            return;
+        }
+        let pending: Vec<(ProcessId, AbdMessage)> = match &self.clients[p.0] {
+            ClientState::Idle => Vec::new(),
+            ClientState::Writing {
+                seq, value, acks, ..
+            } => {
+                let message = AbdMessage::WriteReq {
+                    seq: *seq,
+                    value: *value,
+                };
+                (0..self.n)
+                    .filter(|to| !acks.contains(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+            ClientState::ReadingQuery { rid, replies, .. } => {
+                let message = AbdMessage::ReadReq { rid: *rid };
+                (0..self.n)
+                    .filter(|to| !replies.contains_key(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+            ClientState::ReadingWriteBack {
+                rid,
+                seq,
+                value,
+                acks,
+                ..
+            } => {
+                let message = AbdMessage::WriteBackReq {
+                    rid: *rid,
+                    seq: *seq,
+                    value: *value,
+                };
+                (0..self.n)
+                    .filter(|to| !acks.contains(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+        };
+        if pending.is_empty() {
+            return;
+        }
+        self.net.count_retransmissions(pending.len() as u64);
+        for (to, message) in pending {
+            self.send(p, to, message);
+        }
+        self.net.rearm_retry(p);
     }
 
     fn respond(&mut self, op: OpId, read_value: Option<i64>) {
@@ -367,8 +462,12 @@ impl AbdCluster {
 }
 
 impl MessageCluster for AbdCluster {
-    fn queue(&self) -> &InflightQueue {
-        &self.inflight
+    fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
     }
 
     fn deliver_slot(&mut self, slot: usize) {
@@ -384,8 +483,12 @@ impl MessageCluster for AbdCluster {
         (p.0 < self.n && !self.is_crashed(p) && self.is_idle(p)).then(|| self.start_read(p))
     }
 
-    fn crash_process(&mut self, p: ProcessId) {
-        AbdCluster::crash(self, p);
+    fn on_timer(&mut self, p: ProcessId) {
+        self.retransmit(p);
+    }
+
+    fn recover_process(&mut self, p: ProcessId) -> bool {
+        AbdCluster::recover(self, p)
     }
 
     fn history(&self) -> History<i64> {
@@ -402,10 +505,6 @@ impl MessageCluster for AbdCluster {
 
     fn is_idle(&self, p: ProcessId) -> bool {
         AbdCluster::is_idle(self, p)
-    }
-
-    fn is_crashed(&self, p: ProcessId) -> bool {
-        AbdCluster::is_crashed(self, p)
     }
 }
 

@@ -252,7 +252,7 @@ impl ScriptedAdversary {
     pub fn from_schedule(schedule: &Schedule) -> Self {
         Self::new(schedule.steps.iter().filter_map(|step| match step {
             crate::delivery::ScheduleStep::Deliver(key) => Some(*key),
-            crate::delivery::ScheduleStep::Event(_) => None,
+            _ => None,
         }))
     }
 
@@ -284,6 +284,9 @@ pub struct HuntReport {
     pub deliveries: u64,
     /// The recorded run, replayable with [`Schedule::replay_on`].
     pub schedule: Schedule,
+    /// The cluster's fault counters at the end of the run (all zero for fault-free
+    /// hunts; see [`crate::FaultLog`]).
+    pub fault_log: crate::FaultLog,
 }
 
 /// Drives `cluster` through a seeded open workload under `adversary`, hunting for a
@@ -334,6 +337,7 @@ pub fn hunt_new_old_inversion<C: MessageCluster>(
                     return HuntReport {
                         violation_at: Some(run.deliveries()),
                         deliveries: run.deliveries(),
+                        fault_log: run.cluster().fault_log(),
                         schedule: run.into_schedule(),
                     };
                 }
@@ -343,6 +347,7 @@ pub fn hunt_new_old_inversion<C: MessageCluster>(
     HuntReport {
         violation_at: None,
         deliveries: run.deliveries(),
+        fault_log: run.cluster().fault_log(),
         schedule: run.into_schedule(),
     }
 }

@@ -15,14 +15,21 @@
 //!   the single shared implementation of [`MessageCluster::deliver_random`] /
 //!   [`MessageCluster::run_to_quiescence`] (previously copy-pasted per cluster).
 //! * [`Schedule`] / [`ScheduleRun`] — a replayable recording of one run: the client
-//!   events (operation starts, crashes) interleaved with the delivered message keys.
-//!   Replaying a schedule on a fresh cluster is deterministic, so a failing schedule is
-//!   a *portable, shrinkable counterexample* rather than a lucky seed.
+//!   events (operation starts, crashes, recoveries) interleaved with the delivered
+//!   message keys **and the injected faults** (drops, duplications, delays, partition
+//!   installs/heals, virtual-time advances) as first-class, payload-independent steps.
+//!   Replaying a schedule on a fresh cluster is deterministic — the fault dice are
+//!   rolled only while recording — so a failing schedule is a *portable, shrinkable
+//!   counterexample* rather than a lucky seed. Schedules also have a stable textual
+//!   form ([`Schedule`]'s `Display`/`FromStr` round-trip) for storing and diffing.
 
 use crate::adversary::{DeliveryAdversary, DeliveryView};
+use crate::faults::{FaultDecision, FaultInjector, FaultLog, Partition, SimNet};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rlt_spec::{History, OpId, ProcessId};
+use std::fmt;
+use std::str::FromStr;
 
 /// A protocol message.
 ///
@@ -317,16 +324,192 @@ pub enum ClientEvent {
     StartRead(ProcessId),
     /// Process `p` fail-stops.
     Crash(ProcessId),
+    /// Process `p` recovers from a crash, rejoining with its persisted replica state.
+    Recover(ProcessId),
 }
 
 /// One step of a recorded [`Schedule`].
+///
+/// Fault steps are payload-independent (keys, ids, and tick counts only), so any
+/// sub-sequence of a schedule is itself replayable — which is what lets the
+/// [`crate::minimize`] shrinker treat fault events exactly like deliveries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScheduleStep {
     /// A client event fired at this point of the run.
     Event(ClientEvent),
     /// The message named by the key was delivered.
     Deliver(EnvelopeKey),
+    /// The message named by the key was dropped by the fault layer.
+    Drop(EnvelopeKey),
+    /// An extra copy of the message named by the key was put in flight.
+    Duplicate(EnvelopeKey),
+    /// The message named by the key was parked for the given number of virtual ticks.
+    Delay(EnvelopeKey, u64),
+    /// The partition `(id, side)` was installed.
+    Partition {
+        /// Partition identifier, referenced by the matching `Heal` step.
+        id: u32,
+        /// Side bitmask: bit `i` set ⇔ process `i` is on the cut-off side.
+        side: u64,
+    },
+    /// The partition with the given id was healed.
+    Heal(u32),
+    /// Virtual time fast-forwarded to the next deadline, releasing due delayed
+    /// messages and firing due retry timers.
+    Advance,
 }
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageKind::WriteReq(seq) => write!(f, "write-req#{seq}"),
+            MessageKind::WriteAck(seq) => write!(f, "write-ack#{seq}"),
+            MessageKind::ReadReq(rid) => write!(f, "read-req#{rid}"),
+            MessageKind::ReadReply(rid) => write!(f, "read-reply#{rid}"),
+            MessageKind::WriteBackReq(rid) => write!(f, "wb-req#{rid}"),
+            MessageKind::WriteBackAck(rid) => write!(f, "wb-ack#{rid}"),
+        }
+    }
+}
+
+impl FromStr for MessageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, id) = s
+            .split_once('#')
+            .ok_or_else(|| format!("message kind `{s}` is missing `#<id>`"))?;
+        let id: u64 = id.parse().map_err(|_| format!("bad message id in `{s}`"))?;
+        match name {
+            "write-req" => Ok(MessageKind::WriteReq(id)),
+            "write-ack" => Ok(MessageKind::WriteAck(id)),
+            "read-req" => Ok(MessageKind::ReadReq(id)),
+            "read-reply" => Ok(MessageKind::ReadReply(id)),
+            "wb-req" => Ok(MessageKind::WriteBackReq(id)),
+            "wb-ack" => Ok(MessageKind::WriteBackAck(id)),
+            other => Err(format!("unknown message kind `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for EnvelopeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{} {}", self.from.0, self.to.0, self.kind)
+    }
+}
+
+impl FromStr for EnvelopeKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (endpoints, kind) = s
+            .split_once(' ')
+            .ok_or_else(|| format!("envelope key `{s}` is missing its message kind"))?;
+        let (from, to) = endpoints
+            .split_once("->")
+            .ok_or_else(|| format!("endpoints `{endpoints}` are missing `->`"))?;
+        let from: usize = from
+            .parse()
+            .map_err(|_| format!("bad sender in `{endpoints}`"))?;
+        let to: usize = to
+            .parse()
+            .map_err(|_| format!("bad destination in `{endpoints}`"))?;
+        Ok(EnvelopeKey {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            kind: kind.parse()?,
+        })
+    }
+}
+
+impl fmt::Display for ScheduleStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleStep::Event(ClientEvent::StartWrite(v)) => write!(f, "write {v}"),
+            ScheduleStep::Event(ClientEvent::StartRead(p)) => write!(f, "read {}", p.0),
+            ScheduleStep::Event(ClientEvent::Crash(p)) => write!(f, "crash {}", p.0),
+            ScheduleStep::Event(ClientEvent::Recover(p)) => write!(f, "recover {}", p.0),
+            ScheduleStep::Deliver(key) => write!(f, "deliver {key}"),
+            ScheduleStep::Drop(key) => write!(f, "drop {key}"),
+            ScheduleStep::Duplicate(key) => write!(f, "dup {key}"),
+            ScheduleStep::Delay(key, ticks) => write!(f, "delay {key} +{ticks}"),
+            ScheduleStep::Partition { id, side } => write!(f, "partition {id} {side}"),
+            ScheduleStep::Heal(id) => write!(f, "heal {id}"),
+            ScheduleStep::Advance => write!(f, "advance"),
+        }
+    }
+}
+
+impl FromStr for ScheduleStep {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn num<T: FromStr>(s: &str, what: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad {what} `{s}`"))
+        }
+        let s = s.trim();
+        let (verb, rest) = s.split_once(' ').unwrap_or((s, ""));
+        match verb {
+            "write" => Ok(ScheduleStep::Event(ClientEvent::StartWrite(num(
+                rest, "value",
+            )?))),
+            "read" => Ok(ScheduleStep::Event(ClientEvent::StartRead(ProcessId(num(
+                rest, "process",
+            )?)))),
+            "crash" => Ok(ScheduleStep::Event(ClientEvent::Crash(ProcessId(num(
+                rest, "process",
+            )?)))),
+            "recover" => Ok(ScheduleStep::Event(ClientEvent::Recover(ProcessId(num(
+                rest, "process",
+            )?)))),
+            "deliver" => Ok(ScheduleStep::Deliver(rest.parse()?)),
+            "drop" => Ok(ScheduleStep::Drop(rest.parse()?)),
+            "dup" => Ok(ScheduleStep::Duplicate(rest.parse()?)),
+            "delay" => {
+                let (key, ticks) = rest
+                    .rsplit_once(" +")
+                    .ok_or_else(|| format!("delay step `{s}` is missing ` +<ticks>`"))?;
+                Ok(ScheduleStep::Delay(key.parse()?, num(ticks, "tick count")?))
+            }
+            "partition" => {
+                let (id, side) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("partition step `{s}` needs `<id> <side>`"))?;
+                Ok(ScheduleStep::Partition {
+                    id: num(id, "partition id")?,
+                    side: num(side, "side mask")?,
+                })
+            }
+            "heal" => Ok(ScheduleStep::Heal(num(rest, "partition id")?)),
+            "advance" => {
+                if rest.is_empty() {
+                    Ok(ScheduleStep::Advance)
+                } else {
+                    Err(format!("advance takes no arguments, got `{rest}`"))
+                }
+            }
+            other => Err(format!("unknown step verb `{other}`")),
+        }
+    }
+}
+
+/// A parse failure of the textual [`Schedule`] form: the offending (1-based) line and
+/// what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
 
 /// A replayable recording of a run: client events interleaved with delivered message
 /// keys, in execution order.
@@ -372,6 +555,10 @@ impl Schedule {
 
     /// Replays the schedule on a fresh cluster, returning the number of deliveries
     /// actually performed (skipped steps are not counted).
+    ///
+    /// Fault steps replay without any randomness: the recorded outcome *is* the step.
+    /// Like deliveries, they are skipped when inapplicable (key not in flight,
+    /// partition id unknown, no deadline to advance to), keeping replay total.
     pub fn replay_on<C: MessageCluster>(&self, cluster: &mut C) -> u64 {
         let mut delivered = 0;
         for step in &self.steps {
@@ -385,9 +572,59 @@ impl Schedule {
                         delivered += 1;
                     }
                 }
+                ScheduleStep::Drop(key) => {
+                    let _ = cluster.drop_by_key(*key);
+                }
+                ScheduleStep::Duplicate(key) => {
+                    let _ = cluster.duplicate_by_key(*key);
+                }
+                ScheduleStep::Delay(key, ticks) => {
+                    let _ = cluster.delay_by_key(*key, *ticks);
+                }
+                ScheduleStep::Partition { id, side } => {
+                    let _ = cluster.install_partition(Partition::from_parts(*id, *side));
+                }
+                ScheduleStep::Heal(id) => {
+                    let _ = cluster.heal_partition(*id);
+                }
+                ScheduleStep::Advance => {
+                    let _ = cluster.advance_time();
+                }
             }
         }
         delivered
+    }
+}
+
+impl fmt::Display for Schedule {
+    /// The stable textual form: one step per line (see [`ScheduleStep`]'s `Display`).
+    /// Round-trips through [`Schedule::from_str`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            writeln!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = ScheduleParseError;
+
+    /// Parses the textual form produced by `Display`. Blank lines and `#` comment
+    /// lines are ignored.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut steps = Vec::new();
+        for (idx, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            steps.push(line.parse().map_err(|message| ScheduleParseError {
+                line: idx + 1,
+                message,
+            })?);
+        }
+        Ok(Schedule { steps })
     }
 }
 
@@ -397,9 +634,12 @@ impl Schedule {
 /// `adversary.rs` and `minimize.rs` is generic over it. The provided methods are the
 /// single shared implementation of uniform-random delivery.
 pub trait MessageCluster {
-    /// The in-flight message queue (see [`InflightQueue`] for the index-stability
-    /// contract).
-    fn queue(&self) -> &InflightQueue;
+    /// The embedded network/failure substrate (queue, clock, crash set, partitions,
+    /// fault log).
+    fn net(&self) -> &SimNet;
+
+    /// Mutable access to the network/failure substrate.
+    fn net_mut(&mut self) -> &mut SimNet;
 
     /// Delivers the in-flight message at `slot`, processing it at its destination.
     ///
@@ -416,9 +656,16 @@ pub trait MessageCluster {
     /// (without recording anything) otherwise.
     fn try_start_read(&mut self, p: ProcessId) -> Option<OpId>;
 
-    /// Fail-stops `p`: it takes no further protocol steps and its in-flight traffic is
-    /// dropped.
-    fn crash_process(&mut self, p: ProcessId);
+    /// Reacts to `p`'s retry timer firing: re-broadcast the messages of `p`'s current
+    /// protocol phase (if any) and re-arm the backed-off timer. Called by
+    /// [`MessageCluster::advance_time`]; a no-op for idle or crashed processes.
+    fn on_timer(&mut self, p: ProcessId);
+
+    /// Recovers a crashed `p`: it rejoins with its *persisted* replica state (the
+    /// `(timestamp, value)` pair survives the crash) and an idle client; traffic of the
+    /// crashed incarnation stays purged, and an operation that was pending at the crash
+    /// stays pending forever. Returns `false` (a no-op) if `p` was not crashed.
+    fn recover_process(&mut self, p: ProcessId) -> bool;
 
     /// The recorded register-level history so far.
     fn history(&self) -> History<i64>;
@@ -432,12 +679,96 @@ pub trait MessageCluster {
     /// `true` if `p` has no operation in progress.
     fn is_idle(&self, p: ProcessId) -> bool;
 
+    /// The in-flight message queue (see [`InflightQueue`] for the index-stability
+    /// contract).
+    fn queue(&self) -> &InflightQueue {
+        self.net().queue()
+    }
+
     /// `true` if `p` has crashed.
-    fn is_crashed(&self, p: ProcessId) -> bool;
+    fn is_crashed(&self, p: ProcessId) -> bool {
+        self.net().is_crashed(p)
+    }
+
+    /// Fail-stops `p`: it takes no further protocol steps and its in-flight traffic is
+    /// dropped.
+    fn crash_process(&mut self, p: ProcessId) {
+        self.net_mut().crash(p);
+    }
 
     /// Number of messages currently in flight.
     fn inflight_count(&self) -> usize {
         self.queue().len()
+    }
+
+    /// The per-run fault log (drops, duplicates, delays, purges, dead sends, timer
+    /// fires, retransmissions).
+    fn fault_log(&self) -> FaultLog {
+        *self.net().fault_log()
+    }
+
+    /// Drops the in-flight message named by `key`. Returns `false` if none matches.
+    fn drop_by_key(&mut self, key: EnvelopeKey) -> bool {
+        match self.queue().find_key(key) {
+            Some(slot) => {
+                self.net_mut().drop_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Puts an extra copy of the in-flight message named by `key` in flight. Returns
+    /// `false` if none matches.
+    fn duplicate_by_key(&mut self, key: EnvelopeKey) -> bool {
+        match self.queue().find_key(key) {
+            Some(slot) => {
+                self.net_mut().duplicate_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Parks the in-flight message named by `key` for `ticks` virtual ticks. Returns
+    /// `false` if none matches.
+    fn delay_by_key(&mut self, key: EnvelopeKey, ticks: u64) -> bool {
+        match self.queue().find_key(key) {
+            Some(slot) => {
+                self.net_mut().delay_slot(slot, ticks);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs a partition (see [`SimNet::install_partition`]). Returns `false` if a
+    /// partition with the same id is already installed.
+    fn install_partition(&mut self, partition: Partition) -> bool {
+        self.net_mut().install_partition(partition)
+    }
+
+    /// Heals the partition with the given id (see [`SimNet::heal_partition`]).
+    /// Returns `false` if no such partition is installed.
+    fn heal_partition(&mut self, id: u32) -> bool {
+        self.net_mut().heal_partition(id)
+    }
+
+    /// Fast-forwards virtual time to the next deadline: due delayed messages return to
+    /// the queue and due retry timers fire ([`MessageCluster::on_timer`]). Returns
+    /// `false` if there was no deadline to advance to.
+    fn advance_time(&mut self) -> bool {
+        match self.net_mut().advance() {
+            None => false,
+            Some(fired) => {
+                for p in fired {
+                    if !self.is_crashed(p) {
+                        self.on_timer(p);
+                    }
+                }
+                true
+            }
+        }
     }
 
     /// Applies a [`ClientEvent`], returning `true` if it took effect (start events on a
@@ -450,6 +781,7 @@ pub trait MessageCluster {
                 self.crash_process(p);
                 true
             }
+            ClientEvent::Recover(p) => self.recover_process(p),
         }
     }
 
@@ -470,6 +802,22 @@ pub trait MessageCluster {
         let mut count = 0;
         while count < max_deliveries && self.deliver_random(rng) {
             count += 1;
+        }
+        count
+    }
+
+    /// Like [`MessageCluster::run_to_quiescence`], but when nothing is deliverable it
+    /// fast-forwards virtual time ([`MessageCluster::advance_time`]) — so delayed
+    /// messages come back and retry timers fire — and only stops once both the queue
+    /// and the timeline are exhausted. Returns the number of deliveries.
+    fn run_to_quiescence_with_time(&mut self, rng: &mut StdRng, max_deliveries: u64) -> u64 {
+        let mut count = 0;
+        while count < max_deliveries {
+            if self.deliver_random(rng) {
+                count += 1;
+            } else if !self.advance_time() {
+                break;
+            }
         }
         count
     }
@@ -529,6 +877,106 @@ impl<C: MessageCluster> ScheduleRun<C> {
         self.schedule
             .steps
             .push(ScheduleStep::Event(ClientEvent::Crash(p)));
+    }
+
+    /// Recovers `p`, recording the event if it took effect.
+    pub fn recover(&mut self, p: ProcessId) -> bool {
+        if self.cluster.recover_process(p) {
+            self.schedule
+                .steps
+                .push(ScheduleStep::Event(ClientEvent::Recover(p)));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs a partition, recording it (by `(id, side)`) if it took effect.
+    pub fn install_partition(&mut self, partition: &Partition) -> bool {
+        if self.cluster.install_partition(partition.clone()) {
+            self.schedule.steps.push(ScheduleStep::Partition {
+                id: partition.id(),
+                side: partition.side_mask(),
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Heals the partition with the given id, recording it if it took effect.
+    pub fn heal_partition(&mut self, id: u32) -> bool {
+        if self.cluster.heal_partition(id) {
+            self.schedule.steps.push(ScheduleStep::Heal(id));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fast-forwards virtual time, recording the `advance` if there was a deadline.
+    pub fn advance_time(&mut self) -> bool {
+        if self.cluster.advance_time() {
+            self.schedule.steps.push(ScheduleStep::Advance);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Like [`ScheduleRun::deliver_next`], but the chosen message first passes through
+    /// the fault `injector`: it may be delivered, dropped, duplicated (delivered with
+    /// an extra copy left in flight), or delayed. The *outcome* — not the dice — is
+    /// recorded, so the schedule replays bit-identically without the injector.
+    /// Returns `false` if nothing is in flight or the adversary declines.
+    pub fn deliver_next_faulty(
+        &mut self,
+        adversary: &mut dyn DeliveryAdversary,
+        injector: &mut FaultInjector,
+    ) -> bool {
+        if self.cluster.queue().is_empty() {
+            return false;
+        }
+        let view = DeliveryView {
+            queue: self.cluster.queue(),
+            deliveries: self.deliveries,
+        };
+        let Some(slot) = adversary.next_delivery(&view) else {
+            return false;
+        };
+        let (key, decision) = {
+            let env = self
+                .cluster
+                .queue()
+                .get(slot)
+                .expect("adversary must choose an occupied slot");
+            (env.key(), injector.decide(env))
+        };
+        match decision {
+            FaultDecision::Deliver => {
+                self.cluster.deliver_slot(slot);
+                self.schedule.steps.push(ScheduleStep::Deliver(key));
+                self.deliveries += 1;
+            }
+            FaultDecision::Drop => {
+                self.cluster.net_mut().drop_slot(slot);
+                self.schedule.steps.push(ScheduleStep::Drop(key));
+            }
+            FaultDecision::Delay(ticks) => {
+                self.cluster.net_mut().delay_slot(slot, ticks);
+                self.schedule.steps.push(ScheduleStep::Delay(key, ticks));
+            }
+            FaultDecision::Duplicate => {
+                // Record the duplication before the delivery: on replay, the dup is
+                // cloned first and then `Deliver` takes the oldest matching copy.
+                self.cluster.net_mut().duplicate_slot(slot);
+                self.schedule.steps.push(ScheduleStep::Duplicate(key));
+                self.cluster.deliver_slot(slot);
+                self.schedule.steps.push(ScheduleStep::Deliver(key));
+                self.deliveries += 1;
+            }
+        }
+        true
     }
 
     /// Asks `adversary` to choose the next delivery and performs it. Returns `false`

@@ -13,6 +13,7 @@
 //! applies to both — the faulty variant simply never sends the write-back messages.
 
 use crate::delivery::{AbdMessage, Envelope, InflightQueue, MessageCluster};
+use crate::faults::{RetryPolicy, SimNet};
 use rlt_spec::{History, OpId, OpKind, Operation, ProcessId, RegisterId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -25,6 +26,7 @@ enum Client {
     Writing {
         op: OpId,
         seq: u64,
+        value: i64,
         acks: BTreeSet<usize>,
     },
     Reading {
@@ -35,15 +37,19 @@ enum Client {
 }
 
 /// ABD without the read write-back phase: **not** linearizable.
-#[derive(Debug, Clone)]
+///
+/// Like [`crate::AbdCluster`], all network and failure behavior lives in the embedded
+/// [`SimNet`]; enable timeout-driven retransmission with
+/// [`FaultyAbdCluster::with_retries`]. Retries do not fix the missing write-back —
+/// they only keep operations from wedging on lossy links, which is precisely what
+/// lets the inversion surface under partitions instead of hiding behind a stuck read.
+#[derive(Debug)]
 pub struct FaultyAbdCluster {
     n: usize,
     writer: ProcessId,
     replicas: Vec<(u64, i64)>,
     clients: Vec<Client>,
-    inflight: InflightQueue,
-    crashed: BTreeSet<usize>,
-    now: u64,
+    net: SimNet,
     next_op: u64,
     next_rid: u64,
     writer_seq: u64,
@@ -65,14 +71,20 @@ impl FaultyAbdCluster {
             writer,
             replicas: vec![(0, 0); n],
             clients: vec![Client::Idle; n],
-            inflight: InflightQueue::new(),
-            crashed: BTreeSet::new(),
-            now: 0,
+            net: SimNet::new(n),
             next_op: 0,
             next_rid: 0,
             writer_seq: 0,
             ops: Vec::new(),
         }
+    }
+
+    /// Enables timeout-driven client retry under `policy` — same semantics as
+    /// [`crate::AbdCluster::with_retries`].
+    #[must_use]
+    pub fn with_retries(mut self, policy: RetryPolicy) -> Self {
+        self.net.set_retry(policy);
+        self
     }
 
     /// Number of processes.
@@ -88,14 +100,11 @@ impl FaultyAbdCluster {
     }
 
     fn tick(&mut self) -> Time {
-        self.now += 1;
-        Time(self.now)
+        self.net.tick()
     }
 
     fn send(&mut self, from: ProcessId, to: ProcessId, message: AbdMessage) {
-        if !self.crashed.contains(&to.0) {
-            self.inflight.push(Envelope { from, to, message });
-        }
+        self.net.send(Envelope { from, to, message });
     }
 
     fn broadcast(&mut self, from: ProcessId, message: AbdMessage) {
@@ -107,14 +116,23 @@ impl FaultyAbdCluster {
     /// Marks a process as crashed (fail-stop), dropping its in-flight traffic — same
     /// semantics as [`crate::AbdCluster::crash`].
     pub fn crash(&mut self, p: ProcessId) {
-        self.crashed.insert(p.0);
-        self.inflight.purge_process(p);
+        self.net.crash(p);
+    }
+
+    /// Recovers a crashed process with its persisted replica state — same semantics
+    /// as [`crate::AbdCluster::recover`].
+    pub fn recover(&mut self, p: ProcessId) -> bool {
+        if !self.net.recover(p) {
+            return false;
+        }
+        self.clients[p.0] = Client::Idle;
+        true
     }
 
     /// Returns `true` if `p` has crashed.
     #[must_use]
     pub fn is_crashed(&self, p: ProcessId) -> bool {
-        self.crashed.contains(&p.0)
+        self.net.is_crashed(p)
     }
 
     /// Returns `true` if `p` has no operation in progress.
@@ -148,9 +166,11 @@ impl FaultyAbdCluster {
         self.clients[w.0] = Client::Writing {
             op,
             seq,
+            value,
             acks: BTreeSet::new(),
         };
         self.broadcast(w, AbdMessage::WriteReq { seq, value });
+        self.net.arm_retry(w);
         op
     }
 
@@ -182,20 +202,21 @@ impl FaultyAbdCluster {
             replies: BTreeMap::new(),
         };
         self.broadcast(p, AbdMessage::ReadReq { rid });
+        self.net.arm_retry(p);
         op
     }
 
     /// Number of messages in flight.
     #[must_use]
     pub fn inflight_count(&self) -> usize {
-        self.inflight.len()
+        self.net.queue().len()
     }
 
     /// The in-flight messages (index-stable; see [`crate::AbdCluster::inflight`] for
     /// the contract).
     #[must_use]
     pub fn inflight(&self) -> &InflightQueue {
-        &self.inflight
+        self.net.queue()
     }
 
     /// Delivers the in-flight message at `slot`.
@@ -204,7 +225,7 @@ impl FaultyAbdCluster {
     ///
     /// Panics if the slot is free or out of bounds.
     pub fn deliver(&mut self, slot: usize) {
-        let env = self.inflight.take(slot);
+        let env = self.net.take_slot(slot);
         let to = env.to;
         debug_assert!(
             !self.is_crashed(to),
@@ -219,12 +240,16 @@ impl FaultyAbdCluster {
                 self.send(to, env.from, AbdMessage::WriteAck { seq });
             }
             AbdMessage::WriteAck { seq } => {
-                if let Client::Writing { op, seq: s, acks } = &mut self.clients[to.0] {
+                if let Client::Writing {
+                    op, seq: s, acks, ..
+                } = &mut self.clients[to.0]
+                {
                     if *s == seq {
                         acks.insert(env.from.0);
                         if acks.len() > self.n / 2 {
                             let op = *op;
                             self.clients[to.0] = Client::Idle;
+                            self.net.cancel_retry(to);
                             self.respond(op, None);
                         }
                     }
@@ -249,6 +274,7 @@ impl FaultyAbdCluster {
                                 replies.iter().max_by_key(|(_, (s, _))| *s).unwrap();
                             let op = *op;
                             self.clients[to.0] = Client::Idle;
+                            self.net.cancel_retry(to);
                             self.respond(op, Some(best_value));
                         }
                     }
@@ -258,6 +284,45 @@ impl FaultyAbdCluster {
             // it anyway so that schedules recorded on the correct cluster replay here.
             AbdMessage::WriteBackReq { .. } | AbdMessage::WriteBackAck { .. } => {}
         }
+    }
+
+    /// Re-broadcasts the requests of `p`'s current protocol phase to the processes
+    /// that have not answered yet, and re-arms the backed-off retry timer. The read
+    /// still has no write-back phase: retries make lossy runs complete, not correct.
+    fn retransmit(&mut self, p: ProcessId) {
+        if self.is_crashed(p) {
+            return;
+        }
+        let pending: Vec<(ProcessId, AbdMessage)> = match &self.clients[p.0] {
+            Client::Idle => Vec::new(),
+            Client::Writing {
+                seq, value, acks, ..
+            } => {
+                let message = AbdMessage::WriteReq {
+                    seq: *seq,
+                    value: *value,
+                };
+                (0..self.n)
+                    .filter(|to| !acks.contains(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+            Client::Reading { rid, replies, .. } => {
+                let message = AbdMessage::ReadReq { rid: *rid };
+                (0..self.n)
+                    .filter(|to| !replies.contains_key(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+        };
+        if pending.is_empty() {
+            return;
+        }
+        self.net.count_retransmissions(pending.len() as u64);
+        for (to, message) in pending {
+            self.send(p, to, message);
+        }
+        self.net.rearm_retry(p);
     }
 
     fn respond(&mut self, op: OpId, read_value: Option<i64>) {
@@ -302,7 +367,7 @@ impl FaultyAbdCluster {
         // remains pending for the rest of the run.
         c.start_write(7);
         let slot = c
-            .inflight
+            .inflight()
             .oldest_matching(|e| {
                 matches!(e.message, AbdMessage::WriteReq { .. }) && e.to == ProcessId(1)
             })
@@ -314,7 +379,7 @@ impl FaultyAbdCluster {
         let mut answered = 0;
         while answered < majority {
             let slot = c
-                .inflight
+                .inflight()
                 .oldest_matching(|e| {
                     matches!(e.message, AbdMessage::ReadReq { rid } if rid == 1)
                         && e.to.0 < majority
@@ -324,7 +389,7 @@ impl FaultyAbdCluster {
             answered += 1;
         }
         while let Some(slot) = c
-            .inflight
+            .inflight()
             .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReply { rid, .. } if rid == 1))
         {
             c.deliver(slot);
@@ -336,7 +401,7 @@ impl FaultyAbdCluster {
         let mut answered = 0;
         while answered < majority {
             let slot = c
-                .inflight
+                .inflight()
                 .oldest_matching(|e| {
                     matches!(e.message, AbdMessage::ReadReq { rid } if rid == 2)
                         && e.to != ProcessId(1)
@@ -346,7 +411,7 @@ impl FaultyAbdCluster {
             answered += 1;
         }
         while let Some(slot) = c
-            .inflight
+            .inflight()
             .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReply { rid, .. } if rid == 2))
         {
             c.deliver(slot);
@@ -356,8 +421,12 @@ impl FaultyAbdCluster {
 }
 
 impl MessageCluster for FaultyAbdCluster {
-    fn queue(&self) -> &InflightQueue {
-        &self.inflight
+    fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
     }
 
     fn deliver_slot(&mut self, slot: usize) {
@@ -373,8 +442,12 @@ impl MessageCluster for FaultyAbdCluster {
         (p.0 < self.n && !self.is_crashed(p) && self.is_idle(p)).then(|| self.start_read(p))
     }
 
-    fn crash_process(&mut self, p: ProcessId) {
-        FaultyAbdCluster::crash(self, p);
+    fn on_timer(&mut self, p: ProcessId) {
+        self.retransmit(p);
+    }
+
+    fn recover_process(&mut self, p: ProcessId) -> bool {
+        FaultyAbdCluster::recover(self, p)
     }
 
     fn history(&self) -> History<i64> {
@@ -391,10 +464,6 @@ impl MessageCluster for FaultyAbdCluster {
 
     fn is_idle(&self, p: ProcessId) -> bool {
         FaultyAbdCluster::is_idle(self, p)
-    }
-
-    fn is_crashed(&self, p: ProcessId) -> bool {
-        FaultyAbdCluster::is_crashed(self, p)
     }
 }
 

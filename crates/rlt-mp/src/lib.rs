@@ -14,7 +14,16 @@
 //!   whose histories the checkers must reject.
 //! * The shared [`delivery`] core: the index-stable [`InflightQueue`], the
 //!   [`MessageCluster`] trait both clusters implement (home of the shared
-//!   random-delivery helpers), and replayable recorded [`Schedule`]s.
+//!   random-delivery helpers), and replayable recorded [`Schedule`]s with a stable
+//!   textual form (`Display`/`FromStr` round-trip).
+//! * The virtual-time [`faults`] layer both clusters embed ([`SimNet`]): seeded
+//!   per-link drop/duplicate/delay injection ([`FaultInjector`]), named installable
+//!   [`Partition`]s, crash-*recovery* with persisted replica state, timeout-driven
+//!   client retry with bounded exponential backoff ([`RetryPolicy`]), and a per-run
+//!   [`FaultLog`]. Every fault is recorded as a first-class, payload-independent
+//!   [`ScheduleStep`], so faulty runs replay bit-identically and ddmin-minimize like
+//!   any other schedule; the clock itself is [`rlt_sim::VirtualClock`], shared with
+//!   the shared-memory scheduler.
 //! * First-class message-schedule [`adversary`] implementations — uniform baseline,
 //!   FIFO/LIFO, destination starving, and the targeted [`ReplyWithholdingAdversary`]
 //!   that forces the faulty cluster's new/old inversion in a handful of deliveries —
@@ -81,6 +90,7 @@
 pub mod abd;
 pub mod adversary;
 pub mod delivery;
+pub mod faults;
 pub mod faulty;
 pub mod minimize;
 
@@ -91,6 +101,10 @@ pub use adversary::{
 };
 pub use delivery::{
     AbdMessage, ClientEvent, Envelope, EnvelopeKey, InflightQueue, MessageCluster, MessageKind,
-    Schedule, ScheduleRun, ScheduleStep,
+    Schedule, ScheduleParseError, ScheduleRun, ScheduleStep,
+};
+pub use faults::{
+    hunt_with_faults, FaultDecision, FaultInjector, FaultLog, FaultPlan, FaultScenario, LinkFaults,
+    LinkOverride, Partition, RetryPolicy, SimNet,
 };
 pub use faulty::FaultyAbdCluster;

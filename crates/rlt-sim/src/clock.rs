@@ -1,0 +1,259 @@
+//! A deterministic virtual clock with an event heap — the discrete-event core shared
+//! by the step scheduler ([`crate::Scheduler`]) and the message-passing fault layer
+//! (`rlt-mp`'s `SimNet`).
+//!
+//! Virtual time is just a `u64`; nothing ever waits on a wall clock. Timers are
+//! scheduled at absolute virtual deadlines and popped in deterministic order: by
+//! `(deadline, registration sequence)`, so two timers due at the same instant fire in
+//! the order they were scheduled — there is no hash-map iteration order or wall-clock
+//! jitter anywhere. Fast-forwarding across an idle interval
+//! ([`VirtualClock::advance_to_next`]) is a constant-time jump, which is what makes
+//! timeout-heavy schedules (retry storms, partition outages) simulable in microseconds
+//! instead of simulated-seconds.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Handle to a scheduled timer, usable with [`VirtualClock::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    payload: T,
+}
+
+// Ordering on (time, seq) only; `seq` is unique, so this is a total order and the
+// payload never needs to be comparable.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A virtual clock driving a deterministic timer heap.
+///
+/// `T` is the timer payload (e.g. the process whose retry timer fired). All operations
+/// are deterministic: the same sequence of schedules, cancels, and advances yields the
+/// same fires in the same order.
+#[derive(Debug, Default)]
+pub struct VirtualClock<T> {
+    now: u64,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    cancelled: BTreeSet<u64>,
+    live: usize,
+}
+
+impl<T> VirtualClock<T> {
+    /// Creates a clock at virtual time zero with no timers.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock {
+            now: 0,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: BTreeSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of scheduled, not-yet-fired, not-cancelled timers.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.live
+    }
+
+    /// Schedules a timer at the absolute virtual time `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is in the past (`< now`). Scheduling at exactly `now` is
+    /// allowed; the timer is immediately due.
+    pub fn schedule_at(&mut self, deadline: u64, payload: T) -> TimerId {
+        assert!(
+            deadline >= self.now,
+            "cannot schedule a timer in the past ({deadline} < {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: deadline,
+            seq,
+            payload,
+        }));
+        self.live += 1;
+        TimerId(seq)
+    }
+
+    /// Schedules a timer `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: u64, payload: T) -> TimerId {
+        self.schedule_at(self.now.saturating_add(delay), payload)
+    }
+
+    /// Cancels a timer. Returns `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Lazy deletion: the heap entry stays until popped; `cancelled` filters it.
+        let fresh = self.cancelled.insert(id.0);
+        let was_live = fresh && self.heap.iter().any(|Reverse(e)| e.seq == id.0);
+        if was_live {
+            self.live -= 1;
+        } else if fresh {
+            self.cancelled.remove(&id.0);
+        }
+        was_live
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Advances the clock by `ticks` without firing anything. Due timers stay queued
+    /// until popped with [`VirtualClock::pop_due`].
+    pub fn advance_by(&mut self, ticks: u64) -> u64 {
+        self.now = self.now.saturating_add(ticks);
+        self.now
+    }
+
+    /// Advances the clock to the absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < now`.
+    pub fn advance_to(&mut self, t: u64) {
+        assert!(t >= self.now, "cannot advance the clock backwards");
+        self.now = t;
+    }
+
+    /// Pops the next timer whose deadline is `<= now`, in `(deadline, seq)` order.
+    pub fn pop_due(&mut self) -> Option<(TimerId, T)> {
+        self.skip_cancelled();
+        if self
+            .heap
+            .peek()
+            .is_some_and(|Reverse(e)| e.time <= self.now)
+        {
+            let Reverse(e) = self.heap.pop().expect("peeked entry");
+            self.live -= 1;
+            Some((TimerId(e.seq), e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Fast-forwards across the idle interval to the earliest pending deadline and
+    /// pops that timer. Returns `None` (clock unchanged) if no timer is pending.
+    pub fn advance_to_next(&mut self) -> Option<(TimerId, T)> {
+        let deadline = self.next_deadline()?;
+        self.advance_to(deadline.max(self.now));
+        self.pop_due()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_in_deadline_then_registration_order() {
+        let mut clock = VirtualClock::new();
+        let _a = clock.schedule_at(10, "a");
+        let _b = clock.schedule_at(5, "b");
+        let _c = clock.schedule_at(10, "c");
+        assert_eq!(clock.pending(), 3);
+        assert_eq!(clock.advance_to_next(), Some((TimerId(1), "b")));
+        assert_eq!(clock.now(), 5);
+        // Same deadline: fires in registration order (a before c).
+        assert_eq!(clock.advance_to_next(), Some((TimerId(0), "a")));
+        assert_eq!(clock.now(), 10);
+        assert_eq!(clock.advance_to_next(), Some((TimerId(2), "c")));
+        assert_eq!(clock.now(), 10);
+        assert_eq!(clock.advance_to_next(), None);
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_intervals() {
+        let mut clock = VirtualClock::new();
+        clock.schedule_at(1_000_000, ());
+        assert_eq!(clock.next_deadline(), Some(1_000_000));
+        assert!(clock.advance_to_next().is_some());
+        assert_eq!(clock.now(), 1_000_000);
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let mut clock = VirtualClock::new();
+        let a = clock.schedule_at(5, 'a');
+        let b = clock.schedule_at(6, 'b');
+        assert!(clock.cancel(a));
+        assert!(!clock.cancel(a), "double cancel reports false");
+        assert_eq!(clock.pending(), 1);
+        assert_eq!(clock.advance_to_next(), Some((b, 'b')));
+        assert_eq!(clock.pending(), 0);
+        assert!(!clock.cancel(b), "cancelling a fired timer reports false");
+    }
+
+    #[test]
+    fn pop_due_only_pops_at_or_before_now() {
+        let mut clock = VirtualClock::new();
+        clock.schedule_at(3, 1u32);
+        clock.schedule_at(7, 2u32);
+        assert_eq!(clock.pop_due(), None);
+        clock.advance_by(3);
+        assert_eq!(clock.pop_due().map(|(_, p)| p), Some(1));
+        assert_eq!(clock.pop_due(), None);
+        clock.advance_to(7);
+        assert_eq!(clock.pop_due().map(|(_, p)| p), Some(2));
+    }
+
+    #[test]
+    fn scheduling_at_now_is_immediately_due() {
+        let mut clock = VirtualClock::new();
+        clock.advance_by(4);
+        clock.schedule_at(4, ());
+        assert_eq!(clock.pop_due().map(|(_, p)| p), Some(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut clock: VirtualClock<()> = VirtualClock::new();
+        clock.advance_by(10);
+        clock.schedule_at(9, ());
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`Scheduler`] / [`StepProcess`] / [`Adversary`] — a cooperative step scheduler for
 //!   running process state machines under seeded-random or scripted schedules.
 //! * [`CoinSource`] — seeded, logged coin flips visible to strong adversaries.
+//! * [`VirtualClock`] — the deterministic discrete-event clock (timer heap with
+//!   `(deadline, seq)` tie-breaking and constant-time fast-forward across idle
+//!   intervals) that both this scheduler and `rlt-mp`'s fault-injection layer run on.
 //!
 //! # Example
 //!
@@ -41,10 +44,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clock;
 pub mod coin;
 pub mod mem;
 pub mod sched;
 
+pub use clock::{TimerId, VirtualClock};
 pub use coin::{CoinSource, FlipRecord};
 pub use mem::{
     LastCommittedResolver, PendingOp, ReadChoice, ReadResolver, RegisterMode, ScriptedResolver,

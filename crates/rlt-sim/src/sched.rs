@@ -7,6 +7,7 @@
 //! explores interleavings reproducibly, while scripted adversaries replay the paper's
 //! hand-crafted executions.
 
+use crate::clock::VirtualClock;
 use crate::coin::CoinSource;
 use crate::mem::SharedMem;
 use rand::rngs::StdRng;
@@ -51,6 +52,9 @@ pub struct AdversaryView<'a> {
     pub runnable: &'a [ProcessId],
     /// Number of steps taken so far.
     pub steps: u64,
+    /// Current virtual time (each step advances it by one tick; see
+    /// [`crate::clock::VirtualClock`]).
+    pub now: u64,
     /// Outcomes of every coin flip so far.
     pub coin_log: &'a [crate::coin::FlipRecord],
 }
@@ -147,6 +151,10 @@ pub struct Scheduler<V> {
     slots: Vec<ProcessSlot<V>>,
     adversary: Box<dyn Adversary>,
     steps: u64,
+    /// Virtual time of the run: one tick per executed step. The same discrete-event
+    /// clock type drives the message-passing fault layer's timers, so shared-memory
+    /// and message-passing simulations measure schedules in the same unit.
+    clock: VirtualClock<ProcessId>,
 }
 
 impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> Scheduler<V> {
@@ -159,7 +167,14 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> Scheduler<V> {
             slots: Vec::new(),
             adversary,
             steps: 0,
+            clock: VirtualClock::new(),
         }
+    }
+
+    /// Current virtual time (ticks once per executed step).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.clock.now()
     }
 
     /// Registers a process.
@@ -192,6 +207,7 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> Scheduler<V> {
         let view = AdversaryView {
             runnable: &runnable,
             steps: self.steps,
+            now: self.clock.now(),
             coin_log: self.coin.log(),
         };
         let chosen = self.adversary.next_process(&view);
@@ -205,6 +221,7 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> Scheduler<V> {
             slot.done = true;
         }
         self.steps += 1;
+        self.clock.advance_by(1);
         true
     }
 
@@ -363,6 +380,7 @@ mod tests {
             adv.next_process(&AdversaryView {
                 runnable,
                 steps: 0,
+                now: 0,
                 coin_log: &[],
             })
         };

@@ -15,9 +15,7 @@
 
 use rlt_core::mp::adversary::hunt_new_old_inversion;
 use rlt_core::mp::minimize::minimize_schedule;
-use rlt_core::mp::{
-    AbdCluster, FaultyAbdCluster, ReplyWithholdingAdversary, ScheduleStep, UniformAdversary,
-};
+use rlt_core::mp::{AbdCluster, FaultyAbdCluster, ReplyWithholdingAdversary, UniformAdversary};
 use rlt_core::spec::{Checker, ProcessId};
 
 fn main() {
@@ -63,14 +61,16 @@ fn main() {
         minimized.schedule.delivery_count(),
         minimized.replays_tried,
     );
+    // The stable textual form (Display) round-trips through parse.
     for step in &minimized.schedule.steps {
-        match step {
-            ScheduleStep::Event(event) => println!("    {event:?}"),
-            ScheduleStep::Deliver(key) => {
-                println!("    deliver {:?} {} -> {}", key.kind, key.from, key.to);
-            }
-        }
+        println!("    {step}");
     }
+    let round_tripped: rlt_core::mp::Schedule = minimized
+        .schedule
+        .to_string()
+        .parse()
+        .expect("schedule text round-trips");
+    assert_eq!(round_tripped, minimized.schedule);
     println!();
 
     // 3. Replay: deterministic on the faulty cluster, harmless on the correct one.

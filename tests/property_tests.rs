@@ -294,3 +294,92 @@ proptest! {
         prop_assert!(Value::from(a).as_int() == Some(a));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Schedule grammar (E14): Display -> parse round-trips for every step shape
+// ---------------------------------------------------------------------------
+
+mod schedule_grammar {
+    use proptest::prelude::*;
+    use rlt_core::mp::{ClientEvent, EnvelopeKey, MessageKind, Schedule, ScheduleStep};
+    use rlt_core::spec::ProcessId;
+
+    fn arb_kind() -> impl Strategy<Value = MessageKind> {
+        (0u8..6, 0u64..1_000).prop_map(|(tag, seq)| match tag {
+            0 => MessageKind::WriteReq(seq),
+            1 => MessageKind::WriteAck(seq),
+            2 => MessageKind::ReadReq(seq),
+            3 => MessageKind::ReadReply(seq),
+            4 => MessageKind::WriteBackReq(seq),
+            _ => MessageKind::WriteBackAck(seq),
+        })
+    }
+
+    fn arb_key() -> impl Strategy<Value = EnvelopeKey> {
+        (0usize..9, 0usize..9, arb_kind()).prop_map(|(from, to, kind)| EnvelopeKey {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            kind,
+        })
+    }
+
+    fn arb_event() -> impl Strategy<Value = ClientEvent> {
+        prop_oneof![
+            any::<i64>().prop_map(ClientEvent::StartWrite),
+            (0usize..9).prop_map(|p| ClientEvent::StartRead(ProcessId(p))),
+            (0usize..9).prop_map(|p| ClientEvent::Crash(ProcessId(p))),
+            (0usize..9).prop_map(|p| ClientEvent::Recover(ProcessId(p))),
+        ]
+    }
+
+    fn arb_step() -> impl Strategy<Value = ScheduleStep> {
+        prop_oneof![
+            arb_event().prop_map(ScheduleStep::Event),
+            arb_key().prop_map(ScheduleStep::Deliver),
+            arb_key().prop_map(ScheduleStep::Drop),
+            arb_key().prop_map(ScheduleStep::Duplicate),
+            (arb_key(), 1u64..10_000).prop_map(|(k, t)| ScheduleStep::Delay(k, t)),
+            (0u32..16, 0u64..256).prop_map(|(id, side)| ScheduleStep::Partition { id, side }),
+            (0u32..16).prop_map(ScheduleStep::Heal),
+            Just(ScheduleStep::Advance),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn schedule_display_parse_round_trips(steps in prop::collection::vec(arb_step(), 0..40)) {
+            let schedule = Schedule { steps: steps.clone() };
+            let text = schedule.to_string();
+            let parsed: Schedule = text.parse().expect("rendered schedule must parse");
+            prop_assert_eq!(parsed, schedule);
+        }
+
+        #[test]
+        fn parsing_ignores_blank_and_comment_lines(steps in prop::collection::vec(arb_step(), 1..20)) {
+            let schedule = Schedule { steps: steps.clone() };
+            let mut decorated = String::from("# header comment\n\n");
+            for line in schedule.to_string().lines() {
+                decorated.push_str(line);
+                decorated.push_str("\n\n# trailing note\n");
+            }
+            let parsed: Schedule = decorated.parse().expect("decorated schedule must parse");
+            prop_assert_eq!(parsed, schedule);
+        }
+
+        #[test]
+        fn parse_errors_carry_the_offending_line_number(garbage_line in 1usize..10) {
+            let mut text = String::new();
+            for i in 0..10 {
+                if i == garbage_line {
+                    text.push_str("gibberish step\n");
+                } else {
+                    text.push_str("advance\n");
+                }
+            }
+            let err = text.parse::<Schedule>().expect_err("gibberish must not parse");
+            prop_assert_eq!(err.line, garbage_line + 1);
+        }
+    }
+}
