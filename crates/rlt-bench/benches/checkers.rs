@@ -14,8 +14,8 @@ use rlt_bench::tracked::{
     DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, MEMO_ARENA_SPLIT_THRESHOLD, WORKLOAD_SEED,
 };
 use rlt_bench::{
-    distinct_value_workload, lamport_workload, multi_register_workload, small_history_corpus,
-    vector_workload,
+    distinct_value_workload, incremental_sweep, lamport_workload, multi_register_workload,
+    small_history_corpus, stream_checker, vector_workload,
 };
 use rlt_registers::algorithm3::vector_linearization;
 use rlt_spec::reference::reference_check_linearizable;
@@ -35,6 +35,41 @@ fn linearizability_checker(c: &mut Criterion) {
             &history,
             |b, h| {
                 b.iter(|| black_box(checker.check(h).is_linearizable()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E15: one incremental session swept over a growing history (verdict after every
+/// event) against re-checking every prefix from scratch. The tracked amortized
+/// numbers live in `BENCH_checkers.json`; this group gives Criterion's view.
+fn incremental_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_stream");
+    group.sample_size(10);
+    for &decisions in &[80usize, 320] {
+        let history = lamport_workload(3, decisions, WORKLOAD_SEED);
+        let prefixes = history.all_prefixes();
+        group.bench_with_input(
+            BenchmarkId::new("incremental", history.len()),
+            &prefixes,
+            |b, prefixes| {
+                b.iter(|| black_box(incremental_sweep(prefixes).1));
+            },
+        );
+        let checker = stream_checker();
+        group.bench_with_input(
+            BenchmarkId::new("recheck_scratch", history.len()),
+            &prefixes,
+            |b, prefixes| {
+                b.iter(|| {
+                    black_box(
+                        prefixes
+                            .iter()
+                            .filter(|p| checker.check(p).is_linearizable())
+                            .count(),
+                    )
+                });
             },
         );
     }
@@ -206,6 +241,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = linearizability_checker, engine_vs_reference, parallel_engine_scaling, checker_reuse, memo_arena_large_keys, algorithm3_linearization, algorithm3_vs_general_checker
+    targets = linearizability_checker, incremental_stream, engine_vs_reference, parallel_engine_scaling, checker_reuse, memo_arena_large_keys, algorithm3_linearization, algorithm3_vs_general_checker
 }
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! The `BENCH_abd.json` writer, shared by the `checkers_summary` and `abd_adversary`
 //! bins so both regenerate the same artifact.
 //!
-//! Two experiment families land in the file:
+//! Three experiment families land in the file:
 //!
 //! * **E3 — ABD cost** (`rows`): write+read round-trip wall time as the cluster grows
 //!   and under minority crashes.
@@ -13,16 +13,20 @@
 //!   and replayed. Unlike the E3 wall-clock rows, every E13 number is a
 //!   *deterministic* function of the seeds (the vendored rng is a fixed stream), so
 //!   these rows are comparable across machines.
+//! * **E15 — incremental hunt loop** (`hunt_loop`): wall time of the
+//!   reply-withholding hunt workload monitored after every delivery by one
+//!   [`rlt_spec::IncrementalChecker`] session per hunt vs a from-scratch check per
+//!   delivery, at (asserted) unchanged deliveries-to-counterexample.
 
 use crate::mean_time;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rlt_mp::adversary::{hunt_new_old_inversion, HuntReport};
 use rlt_mp::minimize::minimize_schedule;
 use rlt_mp::{
     hunt_with_faults, AbdCluster, DeliveryAdversary, FaultPlan, FaultScenario, FaultyAbdCluster,
     MessageCluster, NewestFirstAdversary, OldestFirstAdversary, ReplyWithholdingAdversary,
-    RetryPolicy, StarveDestinationAdversary, UniformAdversary,
+    RetryPolicy, ScheduleRun, StarveDestinationAdversary, UniformAdversary,
 };
 use rlt_spec::{Checker, ProcessId};
 use std::fmt::Write as _;
@@ -140,6 +144,105 @@ fn faulty_lossy_row(checker: &Checker<i64>) -> AdversaryRow {
     }
 }
 
+/// Seeds of the hunt-loop speedup measurement (a wall-clock row, so fewer seeds
+/// than the deterministic medians need).
+pub const HUNT_LOOP_SEEDS: u64 = 5;
+
+struct HuntLoopRow {
+    incremental_mean_nanos: u128,
+    scratch_mean_nanos: u128,
+    median_deliveries: u64,
+    medians_match: bool,
+}
+
+/// The E13 reply-withholding hunt workload, re-run at live-monitor granularity:
+/// the same cluster, adversary, and seeded reader schedule as
+/// [`hunt_new_old_inversion`], but `reject` is consulted after **every delivery**
+/// (the regime the incremental session exists for — one verdict per appended
+/// event), halting at the first rejected prefix.
+fn monitored_hunt(seed: u64, reject: &mut dyn FnMut(&FaultyAbdCluster) -> bool) -> Option<u64> {
+    let mut run = ScheduleRun::new(FaultyAbdCluster::new(HUNT_PROCESSES, ProcessId(0)));
+    let mut adversary = tracked_adversary("reply_withholding", seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = run.cluster().process_count();
+    let writer = run.cluster().writer();
+    let mut next_value = 7i64;
+    let mut active_reader: Option<ProcessId> = None;
+    while run.deliveries() < HUNT_CAP {
+        if run.cluster().is_idle(writer) && run.start_write(next_value).is_some() {
+            next_value += 1;
+        }
+        if active_reader.is_none() {
+            let r = rng.gen_range(0..n - 1);
+            let p = ProcessId(if r >= writer.0 { r + 1 } else { r });
+            if run.start_read(p).is_some() {
+                active_reader = Some(p);
+            }
+        }
+        if !run.deliver_next(&mut *adversary) {
+            break;
+        }
+        if reject(run.cluster()) {
+            return Some(run.deliveries());
+        }
+        if let Some(p) = active_reader {
+            if run.cluster().is_idle(p) {
+                active_reader = None;
+            }
+        }
+    }
+    None
+}
+
+/// The E15 hunt-loop row: the E13 reply-withholding hunt workload monitored at
+/// per-delivery granularity — one incremental session per hunt (synced zero-copy
+/// from the cluster's operation record, most polls answered by the between-event
+/// verdict cache) vs a from-scratch `Checker::check` of a freshly materialized
+/// history per delivery. Both halt at the same delivery as the coarse E13 hunt
+/// (asserted per seed, which pins the medians to the E13 value); `mean_wall_nanos`
+/// are per hunt, averaged over [`HUNT_LOOP_SEEDS`] seeds.
+fn hunt_loop_row(checker: &Checker<i64>) -> HuntLoopRow {
+    let monitored = |seed: u64| {
+        let mut monitor = checker.incremental();
+        monitored_hunt(seed, &mut |cluster| {
+            monitor.sync_with_ops(cluster.operations());
+            matches!(monitor.verdict_ref().outcome(), Ok(false))
+        })
+    };
+    let scratch = |seed: u64| {
+        monitored_hunt(seed, &mut |cluster| {
+            matches!(checker.check(&cluster.history()).outcome(), Ok(false))
+        })
+    };
+    let mut deliveries: Vec<u64> = Vec::new();
+    for seed in 0..HUNT_LOOP_SEEDS {
+        let hunt = run_hunt("reply_withholding", seed, checker);
+        let inc = monitored(seed);
+        assert_eq!(
+            inc,
+            scratch(seed),
+            "incremental and from-scratch monitoring must be verdict-identical (seed {seed})"
+        );
+        assert_eq!(
+            inc, hunt.violation_at,
+            "per-delivery monitoring must halt at the E13 hunt's delivery (seed {seed})"
+        );
+        deliveries.push(inc.unwrap_or(HUNT_CAP));
+    }
+    deliveries.sort_unstable();
+    let median_deliveries = deliveries[deliveries.len() / 2];
+    let (incremental_sweep_nanos, _, _) =
+        mean_time(|| (0..HUNT_LOOP_SEEDS).all(|seed| monitored(seed).is_some()));
+    let (scratch_sweep_nanos, _, _) =
+        mean_time(|| (0..HUNT_LOOP_SEEDS).all(|seed| scratch(seed).is_some()));
+    HuntLoopRow {
+        incremental_mean_nanos: incremental_sweep_nanos / u128::from(HUNT_LOOP_SEEDS),
+        scratch_mean_nanos: scratch_sweep_nanos / u128::from(HUNT_LOOP_SEEDS),
+        median_deliveries,
+        medians_match: true,
+    }
+}
+
 struct MinimizeRow {
     scenario_seed: u64,
     raw_deliveries: usize,
@@ -241,6 +344,7 @@ pub fn write_abd_json(out_path: &str) {
     let checker = Checker::new(0i64);
     let hunts = adversary_rows(&checker);
     let lossy = faulty_lossy_row(&checker);
+    let hunt_loop = hunt_loop_row(&checker);
     let minimize = minimize_row(&checker);
 
     let mut json = String::from("{\n  \"experiment\": \"E3-abd-cost\",\n  \"rows\": [\n");
@@ -319,6 +423,27 @@ pub fn write_abd_json(out_path: &str) {
         lossy.median_deliveries,
         lossy.min_deliveries,
         lossy.max_deliveries
+    );
+    eprintln!(
+        "{:>20}: incremental {:.3} ms/hunt vs from-scratch {:.3} ms/hunt \
+         ({:.2}x, median {} deliveries, medians match: {})",
+        "hunt_loop",
+        hunt_loop.incremental_mean_nanos as f64 / 1e6,
+        hunt_loop.scratch_mean_nanos as f64 / 1e6,
+        hunt_loop.scratch_mean_nanos as f64 / hunt_loop.incremental_mean_nanos.max(1) as f64,
+        hunt_loop.median_deliveries,
+        hunt_loop.medians_match
+    );
+    let _ = writeln!(
+        json,
+        "  \"hunt_loop\": {{\"adversary\": \"reply_withholding\", \"seeds\": {}, \
+         \"incremental_mean_wall_nanos\": {}, \"scratch_mean_wall_nanos\": {}, \
+         \"median_deliveries\": {}, \"medians_match\": {}}},",
+        HUNT_LOOP_SEEDS,
+        hunt_loop.incremental_mean_nanos,
+        hunt_loop.scratch_mean_nanos,
+        hunt_loop.median_deliveries,
+        hunt_loop.medians_match
     );
     eprintln!(
         "{:>20}: {} raw -> {} deliveries ({} steps) after {} replays, deterministic: {}",

@@ -4,7 +4,9 @@
 //! across PRs (see `EXPERIMENTS.md`):
 //!
 //! * `BENCH_checkers.json` — experiments E10 (checker scaling), E11 (parallel
-//!   engine scaling), and E12 (memo arena + within-register sharding): the
+//!   engine scaling), E12 (memo arena + within-register sharding), and E15
+//!   (incremental prefix-reuse sessions vs recheck-from-scratch on growing
+//!   streams, amortized per event): the
 //!   engine-backed [`Checker`] session vs the pre-engine reference checker on the
 //!   `lamport_history` and `multi_register_3x` workloads, the fork-join engine
 //!   across thread-pool widths (single checks and 16-history `check_many` batches
@@ -30,13 +32,14 @@
 //! (defaults: `BENCH_checkers.json`, `BENCH_game.json`, `BENCH_abd.json`)
 
 use rlt_bench::tracked::{
-    BATCH_SIZE, DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, MEMO_ARENA_SPLIT_THRESHOLD,
-    MULTI_REGISTERS, REUSE_CORPUS, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED, WORKLOAD_PROCESSES,
-    WORKLOAD_SEED,
+    BATCH_SIZE, DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, INCREMENTAL_MULTI_DECISIONS,
+    MEMO_ARENA_SPLIT_THRESHOLD, MULTI_REGISTERS, REUSE_CORPUS, REUSE_MAX_OPS, REUSE_REGISTERS,
+    REUSE_SEED, WORKLOAD_PROCESSES, WORKLOAD_SEED,
 };
 use rlt_bench::{
-    distinct_value_workload, lamport_workload, mean_time, multi_register_workload,
-    small_history_corpus,
+    best_mean_time, distinct_value_workload, incremental_resweep, incremental_sweep,
+    invocation_ordered, lamport_workload, mean_time, multi_register_workload, small_history_corpus,
+    stream_checker,
 };
 use rlt_game::{run_game, termination_experiment, GameConfig};
 use rlt_sim::RegisterMode;
@@ -50,6 +53,10 @@ const SINGLE_REGISTER_SIZES: &[usize] = &[20, 40, 80, 160, 320];
 
 /// Decision counts per register for the multi-register composition series.
 const MULTI_REGISTER_SIZES: &[usize] = &[20, 40, 80, 160];
+
+/// Decision counts of the E15 growing single-register streams: a live history that
+/// grows one event at a time, re-checked after every event.
+const INCREMENTAL_STREAM_SIZES: &[usize] = &[80, 160, 320];
 
 /// Sizes the reference checker participates in (its historical bench ceiling).
 const REFERENCE_CEILING: usize = 80;
@@ -241,6 +248,64 @@ fn measure_checker_reuse(workload: &str, histories: &[History<i64>], reuse: bool
     }
 }
 
+/// The E15 `incremental` rows: one [`rlt_spec::IncrementalChecker`] session swept
+/// over every growing prefix of the workload, verdict per event. `mean_wall_nanos`
+/// is **amortized per event** (sweep wall time over event count), directly
+/// comparable with the `recheck_scratch` rows; `states_explored` is the session's
+/// own `incremental_states` and `states_memoized` its `memo_entries_reused` — both
+/// deterministic, re-derived by the drift guard.
+fn measure_incremental(workload: &str, history: &History<i64>) -> Row {
+    let prefixes = history.all_prefixes();
+    let events = (prefixes.len() - 1).max(1) as u128;
+    let (mut session, _) = incremental_sweep(&prefixes);
+    let stats = session.stats();
+    let (mean_sweep_nanos, iterations, linearizable) =
+        best_mean_time(|| incremental_resweep(&mut session, &prefixes));
+    Row {
+        checker: "incremental",
+        workload: workload.to_string(),
+        ops: history.len(),
+        threads: 1,
+        linearizable,
+        states_explored: stats.incremental_states,
+        states_memoized: stats.memo_entries_reused,
+        memo: MemoStats::default(),
+        mean_wall_nanos: mean_sweep_nanos / events,
+        iterations,
+        limit_hit: stats.full_fallbacks > 0,
+    }
+}
+
+/// The E15 baseline: the same growing stream re-checked from scratch with
+/// [`Checker::check`] after every event. `mean_wall_nanos` is amortized per event;
+/// the counters are the sums over every prefix.
+fn measure_recheck_scratch(workload: &str, history: &History<i64>) -> Row {
+    let checker = stream_checker();
+    let prefixes = history.all_prefixes();
+    let events = (prefixes.len() - 1).max(1) as u128;
+    let probe: Vec<_> = prefixes.iter().map(|p| checker.check(p)).collect();
+    let (mean_sweep_nanos, iterations, linearizable) = best_mean_time(|| {
+        prefixes
+            .iter()
+            .filter(|p| checker.check(p).is_linearizable())
+            .count()
+            == prefixes.len()
+    });
+    Row {
+        checker: "recheck_scratch",
+        workload: workload.to_string(),
+        ops: history.len(),
+        threads: 1,
+        linearizable,
+        states_explored: probe.iter().map(|r| r.stats().states_explored).sum(),
+        states_memoized: probe.iter().map(|r| r.stats().states_memoized).sum(),
+        memo: fold_memo(probe.iter()),
+        mean_wall_nanos: mean_sweep_nanos / events,
+        iterations,
+        limit_hit: probe.iter().any(|r| !r.is_conclusive()),
+    }
+}
+
 fn measure_reference(workload: &str, history: &History<i64>) -> Row {
     let (mean_wall_nanos, iterations, linearizable) =
         mean_time(|| reference_check_linearizable(history, &0, DEFAULT_STATE_LIMIT).is_some());
@@ -326,6 +391,31 @@ fn checker_rows() -> Vec<Row> {
     let name = format!("distinct_value_register/{DISTINCT_VALUE_OPS}");
     for &threads in THREAD_COUNTS {
         let row = measure_memo_arena(&name, &history, threads);
+        log_row(&row);
+        rows.push(row);
+    }
+    // E15: incremental sessions vs recheck-from-scratch on growing streams.
+    for &decisions in INCREMENTAL_STREAM_SIZES {
+        let history = lamport_workload(WORKLOAD_PROCESSES, decisions, WORKLOAD_SEED);
+        let name = format!("lamport_stream/{decisions}");
+        for row in [
+            measure_incremental(&name, &history),
+            measure_recheck_scratch(&name, &history),
+        ] {
+            log_row(&row);
+            rows.push(row);
+        }
+    }
+    let history = invocation_ordered(&multi_register_workload(
+        MULTI_REGISTERS,
+        INCREMENTAL_MULTI_DECISIONS,
+        WORKLOAD_SEED,
+    ));
+    let name = format!("multi_register_{MULTI_REGISTERS}x_stream/{INCREMENTAL_MULTI_DECISIONS}");
+    for row in [
+        measure_incremental(&name, &history),
+        measure_recheck_scratch(&name, &history),
+    ] {
         log_row(&row);
         rows.push(row);
     }

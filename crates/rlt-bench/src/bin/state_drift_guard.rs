@@ -20,11 +20,13 @@
 //!     [BENCH_checkers.json]`
 
 use rlt_bench::tracked::{
-    BATCH_SIZE, DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, MEMO_ARENA_SPLIT_THRESHOLD,
-    MULTI_REGISTERS, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED, WORKLOAD_PROCESSES, WORKLOAD_SEED,
+    BATCH_SIZE, DISTINCT_VALUE_BURST, DISTINCT_VALUE_OPS, INCREMENTAL_MULTI_DECISIONS,
+    MEMO_ARENA_SPLIT_THRESHOLD, MULTI_REGISTERS, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED,
+    WORKLOAD_PROCESSES, WORKLOAD_SEED,
 };
 use rlt_bench::{
-    distinct_value_workload, lamport_workload, multi_register_workload, small_history_corpus,
+    distinct_value_workload, incremental_sweep, invocation_ordered, lamport_workload,
+    multi_register_workload, small_history_corpus, stream_checker,
 };
 use rlt_spec::{Checker, History, ThreadPolicy};
 use std::collections::HashMap;
@@ -71,6 +73,21 @@ fn count_sum(checker: &Checker<i64>, histories: &[History<i64>]) -> (u64, u64) {
 /// Recomputes the deterministic counters of one tracked row kind, or `None` for rows
 /// without deterministic counters (the pre-engine `reference` checker reports none)
 /// or unknown workloads (reported as drift by the caller).
+/// Recomputes one E15 stream row: `incremental` rows track the session's own
+/// (`incremental_states`, `memo_entries_reused`) counters; `recheck_scratch` rows
+/// track the batch counters summed over every prefix. Both are deterministic at any
+/// thread policy (the incremental session replays the engine's budget accounting).
+fn count_stream(kind: &str, history: &History<i64>) -> (u64, u64) {
+    let prefixes = history.all_prefixes();
+    if kind == "incremental" {
+        let (session, _) = incremental_sweep(&prefixes);
+        let stats = session.stats();
+        (stats.incremental_states, stats.memo_entries_reused)
+    } else {
+        count_sum(&stream_checker(), &prefixes)
+    }
+}
+
 fn recompute(checker: &str, workload: &str) -> Option<(u64, u64)> {
     let size: usize = workload.rsplit('/').next()?.parse().ok()?;
     let series = workload.split('/').next()?;
@@ -97,6 +114,27 @@ fn recompute(checker: &str, workload: &str) -> Option<(u64, u64)> {
             &ambient_checker(),
             &small_history_corpus(size, REUSE_MAX_OPS, REUSE_REGISTERS, REUSE_SEED),
         )),
+        // E15 streams: the workload is the full prefix family of the named history.
+        ("incremental" | "recheck_scratch", "lamport_stream") => Some(count_stream(
+            checker,
+            &lamport_workload(WORKLOAD_PROCESSES, size, WORKLOAD_SEED),
+        )),
+        ("incremental" | "recheck_scratch", _)
+            if series == format!("multi_register_{MULTI_REGISTERS}x_stream") =>
+        {
+            assert_eq!(
+                size, INCREMENTAL_MULTI_DECISIONS,
+                "tracked multi-register stream decisions"
+            );
+            Some(count_stream(
+                checker,
+                &invocation_ordered(&multi_register_workload(
+                    MULTI_REGISTERS,
+                    size,
+                    WORKLOAD_SEED,
+                )),
+            ))
+        }
         ("memo_arena", "distinct_value_register") => {
             let checker = Checker::builder(0i64)
                 .threads(ThreadPolicy::Auto)

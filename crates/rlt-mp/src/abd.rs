@@ -495,6 +495,10 @@ impl MessageCluster for AbdCluster {
         AbdCluster::history(self)
     }
 
+    fn operations(&self) -> &[Operation<i64>] {
+        &self.ops
+    }
+
     fn process_count(&self) -> usize {
         self.n
     }

@@ -305,6 +305,49 @@ pub fn hunt_new_old_inversion<C: MessageCluster>(
     max_deliveries: u64,
     checker: &Checker<i64>,
 ) -> HuntReport {
+    // One incremental session per hunt: the interner, precedence bitsets, and the
+    // per-register frozen searches persist across the run's rechecks instead of
+    // being re-derived from scratch after every completed read.
+    let mut monitor = checker.incremental();
+    hunt_new_old_inversion_with(
+        cluster,
+        adversary,
+        scenario_seed,
+        max_deliveries,
+        &mut |cluster: &C| {
+            monitor.sync_with_ops(cluster.operations());
+            matches!(monitor.verdict_ref().outcome(), Ok(false))
+        },
+    )
+}
+
+/// [`hunt_new_old_inversion`] with a from-scratch [`Checker::check`] per recheck
+/// instead of one incremental session per hunt. Verdict-identical (and therefore
+/// hunt-identical: same violation delivery, same schedule); kept as the baseline the
+/// benchmarks measure the incremental hunt loop against.
+pub fn hunt_new_old_inversion_from_scratch<C: MessageCluster>(
+    cluster: C,
+    adversary: &mut dyn DeliveryAdversary,
+    scenario_seed: u64,
+    max_deliveries: u64,
+    checker: &Checker<i64>,
+) -> HuntReport {
+    hunt_new_old_inversion_with(
+        cluster,
+        adversary,
+        scenario_seed,
+        max_deliveries,
+        &mut |cluster: &C| matches!(checker.check(&cluster.history()).outcome(), Ok(false)),
+    )
+}
+
+fn hunt_new_old_inversion_with<C: MessageCluster>(
+    cluster: C,
+    adversary: &mut dyn DeliveryAdversary,
+    scenario_seed: u64,
+    max_deliveries: u64,
+    reject: &mut dyn FnMut(&C) -> bool,
+) -> HuntReport {
     let mut run = ScheduleRun::new(cluster);
     let mut rng = StdRng::seed_from_u64(scenario_seed);
     let n = run.cluster().process_count();
@@ -331,9 +374,7 @@ pub fn hunt_new_old_inversion<C: MessageCluster>(
             if run.cluster().is_idle(p) {
                 active_reader = None;
                 completed_reads += 1;
-                if completed_reads >= 2
-                    && matches!(checker.check(&run.history()).outcome(), Ok(false))
-                {
+                if completed_reads >= 2 && reject(run.cluster()) {
                     return HuntReport {
                         violation_at: Some(run.deliveries()),
                         deliveries: run.deliveries(),
@@ -377,6 +418,37 @@ mod tests {
                 .violation_at
                 .unwrap_or_else(|| panic!("no violation on seed {seed}"));
             assert!(at <= 40, "seed {seed}: took {at} deliveries");
+        }
+    }
+
+    #[test]
+    fn incremental_hunt_matches_the_from_scratch_baseline() {
+        // The incremental session inside `hunt_new_old_inversion` must not change
+        // the hunt's outcome: same violation delivery, same recorded schedule.
+        let checker = checker();
+        for seed in 0..5u64 {
+            let mut adv_inc = ReplyWithholdingAdversary::new();
+            let incremental = hunt_new_old_inversion(
+                FaultyAbdCluster::new(5, ProcessId(0)),
+                &mut adv_inc,
+                seed,
+                500,
+                &checker,
+            );
+            let mut adv_scratch = ReplyWithholdingAdversary::new();
+            let scratch = hunt_new_old_inversion_from_scratch(
+                FaultyAbdCluster::new(5, ProcessId(0)),
+                &mut adv_scratch,
+                seed,
+                500,
+                &checker,
+            );
+            assert_eq!(
+                incremental.violation_at, scratch.violation_at,
+                "seed {seed}"
+            );
+            assert_eq!(incremental.deliveries, scratch.deliveries, "seed {seed}");
+            assert_eq!(incremental.schedule, scratch.schedule, "seed {seed}");
         }
     }
 

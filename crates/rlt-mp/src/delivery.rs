@@ -27,7 +27,7 @@ use crate::adversary::{DeliveryAdversary, DeliveryView};
 use crate::faults::{FaultDecision, FaultInjector, FaultLog, Partition, SimNet};
 use rand::rngs::StdRng;
 use rand::Rng;
-use rlt_spec::{History, OpId, ProcessId};
+use rlt_spec::{History, OpId, Operation, ProcessId};
 use std::fmt;
 use std::str::FromStr;
 
@@ -669,6 +669,13 @@ pub trait MessageCluster {
 
     /// The recorded register-level history so far.
     fn history(&self) -> History<i64>;
+
+    /// The recorded operations in invocation order, grown in place (pending ops
+    /// complete at their original position) — the zero-copy view behind
+    /// [`history`](MessageCluster::history), fit for feeding an
+    /// [`rlt_spec::IncrementalChecker`] without cloning and revalidating the whole
+    /// record on every recheck.
+    fn operations(&self) -> &[Operation<i64>];
 
     /// Number of processes.
     fn process_count(&self) -> usize;

@@ -734,6 +734,50 @@ pub fn hunt_with_faults<C: MessageCluster>(
     max_deliveries: u64,
     checker: &Checker<i64>,
 ) -> crate::adversary::HuntReport {
+    // As in `hunt_new_old_inversion`: one incremental session per hunt, resumed
+    // across every recheck instead of re-deriving the pipeline per delivery.
+    let mut monitor = checker.incremental();
+    hunt_with_faults_with(
+        cluster,
+        adversary,
+        scenario,
+        scenario_seed,
+        max_deliveries,
+        &mut |cluster: &C| {
+            monitor.sync_with_ops(cluster.operations());
+            matches!(monitor.verdict_ref().outcome(), Ok(false))
+        },
+    )
+}
+
+/// [`hunt_with_faults`] with a from-scratch [`Checker::check`] per recheck instead of
+/// one incremental session per hunt. Verdict-identical; the benchmark baseline.
+pub fn hunt_with_faults_from_scratch<C: MessageCluster>(
+    cluster: C,
+    adversary: &mut dyn DeliveryAdversary,
+    scenario: &FaultScenario,
+    scenario_seed: u64,
+    max_deliveries: u64,
+    checker: &Checker<i64>,
+) -> crate::adversary::HuntReport {
+    hunt_with_faults_with(
+        cluster,
+        adversary,
+        scenario,
+        scenario_seed,
+        max_deliveries,
+        &mut |cluster: &C| matches!(checker.check(&cluster.history()).outcome(), Ok(false)),
+    )
+}
+
+fn hunt_with_faults_with<C: MessageCluster>(
+    cluster: C,
+    adversary: &mut dyn DeliveryAdversary,
+    scenario: &FaultScenario,
+    scenario_seed: u64,
+    max_deliveries: u64,
+    reject: &mut dyn FnMut(&C) -> bool,
+) -> crate::adversary::HuntReport {
     let mut run = ScheduleRun::new(cluster);
     let mut injector = FaultInjector::new(
         scenario.plan.clone(),
@@ -813,9 +857,7 @@ pub fn hunt_with_faults<C: MessageCluster>(
             if !run.cluster().is_crashed(p) && run.cluster().is_idle(p) {
                 active_reader = None;
                 completed_reads += 1;
-                if completed_reads >= 2
-                    && matches!(checker.check(&run.history()).outcome(), Ok(false))
-                {
+                if completed_reads >= 2 && reject(run.cluster()) {
                     return crate::adversary::HuntReport {
                         violation_at: Some(run.deliveries()),
                         deliveries: run.deliveries(),

@@ -454,6 +454,10 @@ impl MessageCluster for FaultyAbdCluster {
         FaultyAbdCluster::history(self)
     }
 
+    fn operations(&self) -> &[Operation<i64>] {
+        &self.ops
+    }
+
     fn process_count(&self) -> usize {
         self.n
     }

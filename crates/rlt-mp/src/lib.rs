@@ -104,7 +104,7 @@ pub use delivery::{
     Schedule, ScheduleParseError, ScheduleRun, ScheduleStep,
 };
 pub use faults::{
-    hunt_with_faults, FaultDecision, FaultInjector, FaultLog, FaultPlan, FaultScenario, LinkFaults,
-    LinkOverride, Partition, RetryPolicy, SimNet,
+    hunt_with_faults, hunt_with_faults_from_scratch, FaultDecision, FaultInjector, FaultLog,
+    FaultPlan, FaultScenario, LinkFaults, LinkOverride, Partition, RetryPolicy, SimNet,
 };
 pub use faulty::FaultyAbdCluster;

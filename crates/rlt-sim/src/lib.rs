@@ -56,6 +56,6 @@ pub use mem::{
     SharedMem,
 };
 pub use sched::{
-    Adversary, ProcessSlot, RandomAdversary, RoundRobinAdversary, Scheduler, SchedulerOutcome,
-    StepOutcome, StepProcess,
+    Adversary, MonitoredOutcome, ProcessSlot, RandomAdversary, RoundRobinAdversary, Scheduler,
+    SchedulerOutcome, StepOutcome, StepProcess,
 };

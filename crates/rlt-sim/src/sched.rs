@@ -12,7 +12,7 @@ use crate::coin::CoinSource;
 use crate::mem::SharedMem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rlt_spec::{History, ProcessId};
+use rlt_spec::{History, IncrementalChecker, ProcessId};
 use std::fmt;
 
 /// Result of a single process step.
@@ -143,6 +143,17 @@ pub struct SchedulerOutcome {
     pub steps: u64,
 }
 
+/// Outcome of [`Scheduler::run_monitored`]: a run with a live incremental
+/// linearizability checker attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitoredOutcome {
+    /// The plain run outcome (steps counted up to the halt, if any).
+    pub outcome: SchedulerOutcome,
+    /// The step count at which the monitor first rejected the history; `None` if
+    /// every checked prefix was linearizable.
+    pub violation_at_step: Option<u64>,
+}
+
 /// Drives a set of [`StepProcess`]es over a [`SharedMem`] under an [`Adversary`].
 #[derive(Debug)]
 pub struct Scheduler<V> {
@@ -235,6 +246,54 @@ impl<V: Clone + Eq + fmt::Debug + Ord + std::hash::Hash> Scheduler<V> {
         SchedulerOutcome {
             all_done: self.slots.iter().all(|s| s.done),
             steps: self.steps,
+        }
+    }
+
+    /// Runs like [`Scheduler::run`] with a live linearizability monitor attached:
+    /// after every step that grew the recorded history, the new events are fed to
+    /// `monitor` (an [`IncrementalChecker`] session, so the per-register searches
+    /// resume instead of restarting) and the run **halts at the first step whose
+    /// history prefix is non-linearizable**. The monitor keeps its session state, so
+    /// the caller can inspect [`IncrementalChecker::history`] and
+    /// [`IncrementalChecker::stats`] afterwards — or keep running.
+    pub fn run_monitored(
+        &mut self,
+        max_steps: u64,
+        monitor: &mut IncrementalChecker<V>,
+    ) -> MonitoredOutcome {
+        let event_count = |h: &History<V>| {
+            h.operations()
+                .iter()
+                .map(|o| 1 + usize::from(o.responded_at.is_some()))
+                .sum::<usize>()
+        };
+        let mut seen_events = event_count(monitor.history());
+        while self.steps < max_steps {
+            if !self.step_once() {
+                break;
+            }
+            let history = self.history();
+            let events = event_count(&history);
+            if events > seen_events {
+                seen_events = events;
+                monitor.sync_with(&history);
+                if monitor.verdict_ref().outcome() == Ok(false) {
+                    return MonitoredOutcome {
+                        outcome: SchedulerOutcome {
+                            all_done: self.slots.iter().all(|s| s.done),
+                            steps: self.steps,
+                        },
+                        violation_at_step: Some(self.steps),
+                    };
+                }
+            }
+        }
+        MonitoredOutcome {
+            outcome: SchedulerOutcome {
+                all_done: self.slots.iter().all(|s| s.done),
+                steps: self.steps,
+            },
+            violation_at_step: None,
         }
     }
 
@@ -341,6 +400,90 @@ mod tests {
         let h = sched.history();
         assert_eq!(h.len(), 8); // 4 writes + 4 reads
         assert!(Checker::new(0i64).check(&h).is_linearizable());
+    }
+
+    /// One process: writes 1, then reads three times in sequence. Driven over a
+    /// scripted resolver the second read goes stale, which the live monitor must
+    /// catch the moment its response lands.
+    #[derive(Debug)]
+    struct StaleReader {
+        state: u8,
+        pending: Option<PendingOp>,
+    }
+
+    impl StepProcess<i64> for StaleReader {
+        fn step(
+            &mut self,
+            pid: ProcessId,
+            mem: &mut SharedMem<i64>,
+            _coin: &mut CoinSource,
+        ) -> StepOutcome {
+            self.state += 1;
+            match self.state {
+                1 => self.pending = Some(mem.begin_write(pid, R, 1)),
+                2 => mem.finish_write(self.pending.take().unwrap()),
+                3 | 5 | 7 => self.pending = Some(mem.begin_read(pid, R)),
+                4 | 6 => {
+                    mem.finish_read(self.pending.take().unwrap());
+                }
+                _ => {
+                    mem.finish_read(self.pending.take().unwrap());
+                    return StepOutcome::Done;
+                }
+            }
+            StepOutcome::Running
+        }
+    }
+
+    #[test]
+    fn run_monitored_halts_at_the_first_non_linearizable_prefix() {
+        use crate::mem::ScriptedResolver;
+        // The script feeds the first read the fresh value and the second a stale
+        // one; a third read is scripted but must never run.
+        let mem: SharedMem<i64> = SharedMem::with_resolver(
+            RegisterMode::Linearizable,
+            0,
+            Box::new(ScriptedResolver::strict(vec![1i64, 0i64, 0i64])),
+        );
+        let mut sched = Scheduler::new(
+            mem,
+            CoinSource::new(7),
+            Box::new(RoundRobinAdversary::new()),
+        );
+        sched.add_process(
+            ProcessId(0),
+            Box::new(StaleReader {
+                state: 0,
+                pending: None,
+            }),
+        );
+        let checker = Checker::new(0i64);
+        let mut monitor = checker.incremental();
+        let out = sched.run_monitored(10_000, &mut monitor);
+        // Halted at the stale read's response (step 6), before the third read ran.
+        assert_eq!(out.violation_at_step, Some(6));
+        assert_eq!(out.outcome.steps, 6);
+        assert!(!out.outcome.all_done);
+        // The monitor saw exactly the halted history, and batch agrees with it.
+        let halted = sched.history();
+        assert_eq!(monitor.history(), &halted);
+        assert!(!checker.check(&halted).is_linearizable());
+    }
+
+    #[test]
+    fn run_monitored_clean_run_matches_plain_run() {
+        let mut plain = build_scheduler(Box::new(RoundRobinAdversary::new()), 3);
+        let expected = plain.run(10_000);
+        let mut sched = build_scheduler(Box::new(RoundRobinAdversary::new()), 3);
+        let checker = Checker::new(0i64);
+        let mut monitor = checker.incremental();
+        let out = sched.run_monitored(10_000, &mut monitor);
+        assert_eq!(out.violation_at_step, None);
+        assert_eq!(out.outcome, expected);
+        assert_eq!(sched.history(), plain.history());
+        assert!(monitor.verdict().is_linearizable());
+        // The monitor resumed per-register searches instead of restarting them.
+        assert!(monitor.stats().verdicts > 0);
     }
 
     #[test]

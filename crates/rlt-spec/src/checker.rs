@@ -32,6 +32,7 @@ use crate::engine::{
     DEFAULT_SPLIT_THRESHOLD,
 };
 use crate::history::History;
+use crate::incremental::IncrementalChecker;
 use crate::linearizability::{DEFAULT_ENUMERATION_WORK_LIMIT, DEFAULT_STATE_LIMIT};
 use crate::op::Operation;
 use crate::sequential::SeqHistory;
@@ -251,6 +252,23 @@ impl<V: RegisterValue> CheckerBuilder<V> {
         self
     }
 
+    /// Finishes the builder as an [`IncrementalChecker`] session: append operations
+    /// (and completions) as they happen and ask for a verdict after any prefix,
+    /// paying amortized sublinear per-op cost instead of a full re-check. Verdicts
+    /// are bit-identical to [`Checker::check`] on the same complete history at every
+    /// thread policy; the thread policy and scratch-reuse settings are therefore
+    /// irrelevant to the session and ignored. See [`crate::incremental`] for the
+    /// reuse/invalidation rule and a live-monitor example.
+    #[must_use]
+    pub fn build_incremental(self) -> IncrementalChecker<V> {
+        IncrementalChecker::from_config(
+            self.init,
+            self.state_budget,
+            self.witness,
+            self.split_threshold,
+        )
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> Checker<V> {
@@ -326,6 +344,22 @@ impl<V: RegisterValue> Checker<V> {
     #[must_use]
     pub fn idle_scratch_arenas(&self) -> usize {
         self.scratch.idle_arenas()
+    }
+
+    /// Starts a fresh [`IncrementalChecker`] session with this checker's
+    /// configuration (initial value, state budget, witness recording, split
+    /// threshold). The session's verdicts are bit-identical to [`Checker::check`]
+    /// on the same complete history at every thread policy. See
+    /// [`crate::incremental`] for the reuse/invalidation rule and a live-monitor
+    /// example.
+    #[must_use]
+    pub fn incremental(&self) -> IncrementalChecker<V> {
+        IncrementalChecker::from_config(
+            self.init.clone(),
+            self.state_budget,
+            self.witness,
+            self.split_threshold,
+        )
     }
 
     /// Checks whether `history` is linearizable.

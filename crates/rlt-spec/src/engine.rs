@@ -244,50 +244,50 @@ impl<'a, V: RegisterValue> ValueInterner<'a, V> {
 // Prepared subproblems
 // ---------------------------------------------------------------------------
 
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
 
 #[inline]
-fn words_for(n: usize) -> usize {
+pub(crate) fn words_for(n: usize) -> usize {
     n.div_ceil(WORD_BITS)
 }
 
 /// One operation of a prepared subproblem, fully interned.
 #[derive(Debug, Clone, Copy)]
-struct LocalOp {
+pub(crate) struct LocalOp {
     /// Index into the engine's global filtered op list.
-    global: u32,
+    pub(crate) global: u32,
     /// Register slot within the subproblem (always 0 for per-register searches).
-    slot: u32,
+    pub(crate) slot: u32,
     /// Interned payload: the written value for writes, the returned value for
     /// completed reads.
-    value: u32,
-    is_write: bool,
-    completed: bool,
+    pub(crate) value: u32,
+    pub(crate) is_write: bool,
+    pub(crate) completed: bool,
 }
 
 /// A self-contained search instance over a subset of the history's operations.
 #[derive(Debug)]
-struct SubProblem {
-    ops: Vec<LocalOp>,
+pub(crate) struct SubProblem {
+    pub(crate) ops: Vec<LocalOp>,
     /// Flat predecessor matrix with `words` u64s per row: row `i` holds one bit per
     /// local op `j` with `op_j.precedes(op_i)`.
-    preds: Vec<u64>,
+    pub(crate) preds: Vec<u64>,
     /// Row stride of `preds` in words.
-    words: usize,
+    pub(crate) words: usize,
     /// Number of register slots (1 for per-register subproblems).
-    slots: usize,
+    pub(crate) slots: usize,
     /// Number of completed ops that a successful linearization must contain.
-    completed: usize,
+    pub(crate) completed: usize,
     /// Interned initial value of every slot.
-    init_id: u32,
+    pub(crate) init_id: u32,
 }
 
 impl SubProblem {
-    fn new<V: RegisterValue>(
+    pub(crate) fn new<V: RegisterValue>(
         ops: &[&Operation<V>],
         members: &[u32],
         slot_of_register: impl Fn(RegisterId) -> u32,
-        values: &ValueInterner<'_, V>,
+        value_id: impl Fn(&V) -> u32,
         init_id: u32,
         slots: usize,
     ) -> Self {
@@ -296,8 +296,8 @@ impl SubProblem {
             .map(|&g| {
                 let op = ops[g as usize];
                 let (is_write, value) = match &op.kind {
-                    OpKind::Write(v) => (true, values.get(v)),
-                    OpKind::Read(Some(v)) => (false, values.get(v)),
+                    OpKind::Write(v) => (true, value_id(v)),
+                    OpKind::Read(Some(v)) => (false, value_id(v)),
                     OpKind::Read(None) => unreachable!("pending reads are filtered out"),
                 };
                 LocalOp {
@@ -730,6 +730,23 @@ pub struct SearchScratch {
     memo: MemoTable,
 }
 
+impl SearchScratch {
+    /// Number of configurations currently memoized in the scratch's table — the
+    /// incremental session's measure of how much frozen state a resume reuses.
+    pub(crate) fn memo_entries(&self) -> u64 {
+        self.memo.len as u64
+    }
+
+    /// Whether op `i` is taken in the frozen configuration (false when out of
+    /// range). Lets the incremental session maintain the frozen order's completed
+    /// count across pending-write flips without recounting on resume.
+    pub(crate) fn frozen_taken(&self, i: usize) -> bool {
+        self.taken
+            .get(i / WORD_BITS)
+            .is_some_and(|w| w & (1u64 << (i % WORD_BITS)) != 0)
+    }
+}
+
 /// A shared pool of [`SearchScratch`] arenas.
 ///
 /// [`Engine::check_with`] and friends pop an arena per worker (fork-join sub-searches
@@ -760,13 +777,23 @@ impl ScratchPool {
         self.arenas.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn acquire(&self) -> SearchScratch {
+    pub(crate) fn acquire(&self) -> SearchScratch {
         self.lock().pop().unwrap_or_default()
     }
 
-    fn release(&self, scratch: SearchScratch) {
+    pub(crate) fn release(&self, scratch: SearchScratch) {
         self.lock().push(scratch);
     }
+}
+
+/// The process-wide fallback pool behind [`Engine::check`] /
+/// [`Engine::check_sequential`]. Callers that don't hold a [`crate::Checker`] (shims,
+/// one-off checks, doctests) used to pay a cold arena per call; parking the arenas in
+/// one shared static keeps them warm instead. Scratch reuse is invisible to results,
+/// so this is purely a perf fix.
+pub(crate) fn default_scratch_pool() -> &'static ScratchPool {
+    static POOL: OnceLock<ScratchPool> = OnceLock::new();
+    POOL.get_or_init(ScratchPool::new)
 }
 
 // ---------------------------------------------------------------------------
@@ -775,9 +802,12 @@ impl ScratchPool {
 
 /// A frame of the explicit DFS stack. The frame owns the op that was applied to enter
 /// it (`creator`, `NO_OP` for the root) and lazily scans candidates from `scan` up to
-/// `end` — `n` for every frame except a sharded search's root, whose scan is
-/// restricted to its shard's candidate range (carrying the bound in the frame keeps
-/// the hot scan loop free of a root-or-not branch).
+/// `end`. Only a root frame carries a real bound (a sharded search's root is
+/// restricted to its shard's candidate range); [`drive_search`] creates every child
+/// frame with the [`UNBOUNDED`] sentinel, clamped to the *current* op count at scan
+/// time. That keeps a frozen stack valid when the incremental session grows the
+/// subproblem under it: [`resume_witness`] only has to extend the root's bound
+/// instead of rewriting every frame.
 #[derive(Debug, Clone, Copy)]
 struct Frame {
     creator: u32,
@@ -789,19 +819,22 @@ struct Frame {
 
 const NO_OP: u32 = u32::MAX;
 
+/// [`Frame::end`] sentinel: scan to the subproblem's current op count.
+const UNBOUNDED: u32 = u32::MAX;
+
 /// Statistics of one sub-search.
 #[derive(Debug, Default, Clone, Copy)]
-struct SearchStats {
-    states_explored: u64,
-    states_memoized: u64,
-    limit_hit: bool,
-    memo: MemoStats,
+pub(crate) struct SearchStats {
+    pub(crate) states_explored: u64,
+    pub(crate) states_memoized: u64,
+    pub(crate) limit_hit: bool,
+    pub(crate) memo: MemoStats,
 }
 
 impl SearchStats {
     /// Folds another sub-search's statistics in (the sequential accounting the
     /// parallel replays reproduce); `limit_hit` is handled by the callers.
-    fn absorb(&mut self, other: &SearchStats) {
+    pub(crate) fn absorb(&mut self, other: &SearchStats) {
         self.states_explored += other.states_explored;
         self.states_memoized += other.states_memoized;
         self.memo.absorb(&other.memo);
@@ -849,11 +882,11 @@ fn search_witness_range(
     taken.resize(words, 0);
     vals.clear();
     vals.resize(sub.slots, sub.init_id);
-    let mut taken_completed = 0usize;
     order.clear();
     // Size the memo table for a burst of nodes (sequential-ish histories then never
-    // rehash). The logical size is deterministic; a warm arena only skips the
-    // *physical* allocation.
+    // rehash). The logical size is deterministic — [`memo_size_class`] mirrors the
+    // resulting slot-array size for the incremental session's invalidation rule —
+    // and a warm arena only skips the *physical* allocation.
     let memo_cap = (n * 4).clamp(16, 1024);
     memo.begin(words, sub.slots, memo_cap);
     stack.clear();
@@ -863,7 +896,41 @@ fn search_witness_range(
         scan: root.start,
         end: (root.end as usize).min(n) as u32,
     });
-    let mut entering = true;
+    let witness = drive_search(sub, budget, stats, taken, vals, order, stack, memo, 0, true);
+    scratch.memo.drain_into(stats);
+    witness
+}
+
+/// The slot-array size [`MemoTable::begin`] picks for a plain witness search over an
+/// `n`-op subproblem (the capacity hint above doubled, rounded up to a power of two).
+/// The incremental session compares this class across appends: a search resumed on a
+/// grown subproblem keeps the frozen table, which is only bit-compatible with a
+/// from-scratch search while the class is unchanged.
+pub(crate) fn memo_size_class(n: usize) -> usize {
+    ((n * 4).clamp(16, 1024) * 2).next_power_of_two().max(16)
+}
+
+/// The core DFS loop over an already-prepared configuration: `taken` / `vals` /
+/// `order` / `stack` describe the current node (with `taken_completed` completed ops
+/// taken), and `entering` says whether that node still owes its entry bookkeeping
+/// (state accounting, budget, success test, memo insert). [`search_witness_range`]
+/// starts it from the empty configuration; [`resume_witness`] re-enters it at a
+/// frozen search's success configuration. Memo counters stay in `memo`; the caller
+/// drains or assigns them.
+#[allow(clippy::too_many_arguments)]
+fn drive_search(
+    sub: &SubProblem,
+    budget: &mut u64,
+    stats: &mut SearchStats,
+    taken: &mut [u64],
+    vals: &mut [u32],
+    order: &mut Vec<u32>,
+    stack: &mut Vec<Frame>,
+    memo: &mut MemoTable,
+    mut taken_completed: usize,
+    mut entering: bool,
+) -> Option<Vec<u32>> {
+    let n = sub.ops.len();
     let mut witness = None;
 
     while let Some(frame) = stack.last_mut() {
@@ -887,7 +954,7 @@ fn search_witness_range(
                 frame.scan = frame.end; // force an immediate pop
             }
         }
-        let scan_end = frame.end as usize;
+        let scan_end = (frame.end as usize).min(n);
         let mut advanced = false;
         let mut i = frame.scan as usize;
         while i < scan_end {
@@ -907,7 +974,7 @@ fn search_witness_range(
                     creator: i as u32,
                     restore,
                     scan: 0,
-                    end: n as u32,
+                    end: UNBOUNDED,
                 });
                 entering = true;
                 advanced = true;
@@ -932,7 +999,88 @@ fn search_witness_range(
             }
         }
     }
-    scratch.memo.drain_into(stats);
+    witness
+}
+
+/// Re-enters [`drive_search`] at the success configuration a previous **plain**
+/// (unsharded) witness search over a prefix of `sub` left frozen in `scratch`,
+/// instead of re-deriving the whole DFS trajectory from the empty configuration.
+///
+/// Correctness (the incremental session's invalidation rule — see
+/// [`crate::incremental`]): when every op added since the freeze sits at the end of
+/// the register's invocation-ordered op list with an invocation strictly after every
+/// frozen completed op's response, no added op is a Wing–Gong candidate at any
+/// configuration the frozen search visited *before* its success — the op's
+/// predecessor set contains every frozen completed op, so viability implies the
+/// all-completed-taken configuration where that search stopped. A from-scratch
+/// search of the grown subproblem therefore replays the frozen trajectory verbatim
+/// and first diverges at the frozen success configuration; re-entering there with
+/// `entering = true` reproduces the remainder bit-exactly, counters included. (The
+/// frozen success configuration was never memo-inserted — success breaks out before
+/// the insert, and no earlier configuration shares its taken set — so re-running its
+/// entry bookkeeping, memo insert included, is exactly what the from-scratch search
+/// does on arrival.) The caller must additionally ensure the grown subproblem keeps
+/// the frozen taken-word count and [`memo_size_class`] and stays unsharded,
+/// otherwise the frozen table's geometry no longer matches a from-scratch run.
+///
+/// On entry `stats` must hold the frozen search's final statistics and `budget` its
+/// remaining private budget; both are rewound by one state here so the re-entered
+/// configuration's entry bookkeeping counts once, not twice. `taken_completed` is the
+/// number of completed ops in the frozen order — the caller maintains it across
+/// pending-op completions so resumption costs O(1) bookkeeping, not an O(order)
+/// recount. Memo counters are *assigned* (not drained) at the end: the live table's
+/// probe count and arena already include the frozen prefix.
+pub(crate) fn resume_witness(
+    sub: &SubProblem,
+    taken_completed: usize,
+    budget: &mut u64,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> Option<Vec<u32>> {
+    let n = sub.ops.len();
+    debug_assert_eq!(scratch.taken.len(), words_for(n));
+    let SearchScratch {
+        taken,
+        vals,
+        order,
+        stack,
+        memo,
+    } = scratch;
+    debug_assert!(!stack.is_empty(), "no frozen search to resume");
+    debug_assert_eq!(
+        taken_completed,
+        order
+            .iter()
+            .filter(|&&i| sub.ops[i as usize].completed)
+            .count(),
+        "caller-maintained taken_completed diverged from the frozen order"
+    );
+    // The frozen root scanned up to the old op count; the appended suffix extends
+    // its candidate range. (The frozen root always spanned the full old range:
+    // resumption is gated on the subproblem being unsharded.) Child frames carry
+    // the [`UNBOUNDED`] sentinel and need no fixup.
+    stack[0].end = n as u32;
+    // Rewind one state: re-entering the frozen configuration re-runs entry
+    // bookkeeping the frozen search already accounted for.
+    stats.states_explored -= 1;
+    *budget += 1;
+    let witness = drive_search(
+        sub,
+        budget,
+        stats,
+        taken,
+        vals,
+        order,
+        stack,
+        memo,
+        taken_completed,
+        true,
+    );
+    stats.memo.probes = scratch.memo.probes;
+    stats.memo.arena_high_water = stats
+        .memo
+        .arena_high_water
+        .max(scratch.memo.arena.len() as u64);
     witness
 }
 
@@ -960,7 +1108,7 @@ const SPLIT_SHARDS: usize = 8;
 /// chunked into [`SPLIT_SHARDS`] contiguous groups; each range spans from its
 /// group's first candidate (the first range from op 0) to the next group's first,
 /// so the ranges tile `0..n` and each shard's root scan sees exactly its group.
-fn shard_ranges(sub: &SubProblem, threshold: u32) -> Option<Vec<std::ops::Range<u32>>> {
+pub(crate) fn shard_ranges(sub: &SubProblem, threshold: u32) -> Option<Vec<std::ops::Range<u32>>> {
     let n = sub.ops.len();
     let threshold = (threshold as usize).max(2);
     if n < threshold {
@@ -1007,7 +1155,7 @@ fn shard_ranges(sub: &SubProblem, threshold: u32) -> Option<Vec<std::ops::Range<
 /// split threshold, the sharded sweep — shards in ascending range order, each with a
 /// fresh memo table, sharing `budget`, stopping at the first witness — above it.
 /// This *is* the sequential semantics; the parallel paths replay it.
-fn search_register(
+pub(crate) fn search_register(
     sub: &SubProblem,
     split_threshold: u32,
     budget: &mut u64,
@@ -1029,6 +1177,59 @@ fn search_register(
             None
         }
     }
+}
+
+/// The k-way witness merge behind [`Engine::check`]'s multi-register tail, as a free
+/// function over global op indices so the incremental session can merge without an
+/// [`Engine`]: `times(g)` returns the op's `(invocation, response)` pair, the
+/// response as a raw tick with pending ops mapped to `u64::MAX`. See
+/// [`Engine::check`] for why the merge always succeeds on well-formed inputs.
+///
+/// A register's head op is *ready* when no unemitted op responded before it was
+/// invoked (checked in O(k) via suffix minima of response times); among ready heads
+/// the earliest invocation wins, ties to the lowest register index.
+pub(crate) fn merge_witness_orders(
+    per_register_orders: &[Vec<usize>],
+    times: impl Fn(usize) -> (Time, u64),
+) -> Option<Vec<usize>> {
+    let k = per_register_orders.len();
+    let total: usize = per_register_orders.iter().map(Vec::len).sum();
+    // suffix_min_resp[r][p] = earliest response among orders[r][p..], pending ops
+    // counting as never-responding.
+    let suffix_min_resp: Vec<Vec<u64>> = per_register_orders
+        .iter()
+        .map(|order| {
+            let mut mins = vec![u64::MAX; order.len() + 1];
+            for p in (0..order.len()).rev() {
+                mins[p] = mins[p + 1].min(times(order[p]).1);
+            }
+            mins
+        })
+        .collect();
+    let mut pos = vec![0usize; k];
+    let mut merged = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<(Time, usize)> = None;
+        'regs: for (r, order) in per_register_orders.iter().enumerate() {
+            let Some(&head) = order.get(pos[r]) else {
+                continue;
+            };
+            let inv = times(head).0;
+            for (r2, mins) in suffix_min_resp.iter().enumerate() {
+                // Skip the head itself when scanning its own register's suffix.
+                if mins[pos[r2] + usize::from(r2 == r)] < inv.0 {
+                    continue 'regs;
+                }
+            }
+            if best.is_none_or(|(b, _)| inv < b) {
+                best = Some((inv, r));
+            }
+        }
+        let (_, r) = best?;
+        merged.push(per_register_orders[r][pos[r]]);
+        pos[r] += 1;
+    }
+    Some(merged)
 }
 
 /// One step outcome of a resumable enumeration walk.
@@ -1493,7 +1694,9 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
         self.per_register.get_or_init(|| {
             self.members
                 .iter()
-                .map(|member_ops| SubProblem::new(&self.ops, member_ops, |_| 0, &self.values, 0, 1))
+                .map(|member_ops| {
+                    SubProblem::new(&self.ops, member_ops, |_| 0, |v| self.values.get(v), 0, 1)
+                })
                 .collect()
         })
     }
@@ -1507,7 +1710,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                 &self.ops,
                 &all,
                 |r| self.registers.binary_search(&r).unwrap() as u32,
-                &self.values,
+                |v| self.values.get(v),
                 0,
                 self.registers.len().max(1),
             )
@@ -1527,7 +1730,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     /// the budget replay guarantees this).
     #[must_use]
     pub fn check(&self, state_limit: u64) -> CheckOutcome {
-        self.check_with(state_limit, &ScratchPool::new())
+        self.check_with(state_limit, default_scratch_pool())
     }
 
     /// [`Engine::check`] with caller-provided scratch arenas: every sub-search pops an
@@ -1653,7 +1856,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     /// bit-identical to this one; the determinism suites diff the two.
     #[must_use]
     pub fn check_sequential(&self, state_limit: u64) -> CheckOutcome {
-        self.check_sequential_with(state_limit, &ScratchPool::new())
+        self.check_sequential_with(state_limit, default_scratch_pool())
     }
 
     /// [`Engine::check_sequential`] with caller-provided scratch arenas (one arena is
@@ -1771,45 +1974,10 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
     /// witness orders — and it replaces the previous all-pairs `precedes` scan plus
     /// Kahn topological sort, which dominated multi-register check time.
     fn merge_witnesses(&self, per_register_orders: &[Vec<usize>]) -> Option<Vec<usize>> {
-        let k = per_register_orders.len();
-        let total: usize = per_register_orders.iter().map(Vec::len).sum();
-        // suffix_min_resp[r][p] = earliest response among orders[r][p..], pending ops
-        // counting as never-responding.
-        let suffix_min_resp: Vec<Vec<u64>> = per_register_orders
-            .iter()
-            .map(|order| {
-                let mut mins = vec![u64::MAX; order.len() + 1];
-                for p in (0..order.len()).rev() {
-                    let resp = self.ops[order[p]].responded_at.map_or(u64::MAX, |t| t.0);
-                    mins[p] = mins[p + 1].min(resp);
-                }
-                mins
-            })
-            .collect();
-        let mut pos = vec![0usize; k];
-        let mut merged = Vec::with_capacity(total);
-        for _ in 0..total {
-            let mut best: Option<(Time, usize)> = None;
-            'regs: for (r, order) in per_register_orders.iter().enumerate() {
-                let Some(&head) = order.get(pos[r]) else {
-                    continue;
-                };
-                let inv = self.ops[head].invoked_at;
-                for (r2, mins) in suffix_min_resp.iter().enumerate() {
-                    // Skip the head itself when scanning its own register's suffix.
-                    if mins[pos[r2] + usize::from(r2 == r)] < inv.0 {
-                        continue 'regs;
-                    }
-                }
-                if best.is_none_or(|(b, _)| inv < b) {
-                    best = Some((inv, r));
-                }
-            }
-            let (_, r) = best?;
-            merged.push(per_register_orders[r][pos[r]]);
-            pos[r] += 1;
-        }
-        Some(merged)
+        merge_witness_orders(per_register_orders, |g| {
+            let op = self.ops[g];
+            (op.invoked_at, op.responded_at.map_or(u64::MAX, |t| t.0))
+        })
     }
 
     /// Enumerates every linearization order of the history, up to `max_results`,

@@ -61,6 +61,26 @@ impl<V: Clone> History<V> {
         &self.ops
     }
 
+    /// Appends an operation without re-validating the whole history. The caller
+    /// (the incremental session) upholds `from_operations`' invariants itself:
+    /// fresh id, fresh event times, response after invocation.
+    pub(crate) fn push_unchecked(&mut self, op: Operation<V>) {
+        self.ops.push(op);
+    }
+
+    /// Removes every operation, keeping the allocation, for the incremental
+    /// session's [`reset`](crate::IncrementalChecker::reset).
+    pub(crate) fn clear_ops(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Mutable access to one operation by position, for the incremental session's
+    /// in-place completion of a pending op. Same invariant caveat as
+    /// [`History::push_unchecked`].
+    pub(crate) fn op_mut(&mut self, index: usize) -> &mut Operation<V> {
+        &mut self.ops[index]
+    }
+
     /// The number of operations (complete or pending) in the history.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -56,6 +56,7 @@ pub mod checker;
 pub mod engine;
 pub mod history;
 pub mod ids;
+pub mod incremental;
 pub mod linearizability;
 pub mod op;
 pub mod reference;
@@ -72,6 +73,7 @@ pub use engine::{
 };
 pub use history::{History, HistoryBuilder};
 pub use ids::{OpId, ProcessId, RegisterId, Time};
+pub use incremental::{IncrementalChecker, IncrementalStats, IncrementalVerdict};
 #[allow(deprecated)]
 pub use linearizability::{
     check_linearizable, check_linearizable_batch, check_linearizable_report,
@@ -96,6 +98,7 @@ pub mod prelude {
     pub use crate::engine::{EnumerationLimitExceeded, Linearizations};
     pub use crate::history::{History, HistoryBuilder};
     pub use crate::ids::{OpId, ProcessId, RegisterId, Time};
+    pub use crate::incremental::{IncrementalChecker, IncrementalStats, IncrementalVerdict};
     pub use crate::op::{OpKind, Operation};
     pub use crate::sequential::{is_legal_register_sequence, SeqHistory};
     pub use crate::strategy::{

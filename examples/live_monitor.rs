@@ -1,0 +1,168 @@
+//! Experiment E15: live monitoring with an incremental checker session.
+//!
+//! A batch `Checker::check` re-derives the whole pipeline — interning, precedence
+//! bitsets, per-register searches — on every call; an `IncrementalChecker` session
+//! keeps all of it alive across a growing history, so the verdict after event N+1
+//! resumes the frontier left by event N. This example attaches such a session to two
+//! live runs and halts each at the **first non-linearizable prefix**:
+//!
+//! 1. the faulty (write-back-free) ABD cluster under the reply-withholding delivery
+//!    adversary, re-checked after every single delivery — the monitor catches the
+//!    new/old inversion the moment the stale read responds;
+//! 2. a shared-memory scheduler run over a scripted resolver that feeds a reader a
+//!    stale value, through `Scheduler::run_monitored`.
+//!
+//! Every printed number is deterministic (seeded workload, virtual time, counters),
+//! so CI diffs the output across `RLT_THREADS` settings.
+//!
+//! Run with: `cargo run --release --example live_monitor`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlt_core::mp::{FaultyAbdCluster, MessageCluster, ReplyWithholdingAdversary, ScheduleRun};
+use rlt_core::sim::{
+    CoinSource, PendingOp, RegisterMode, RoundRobinAdversary, Scheduler, ScriptedResolver,
+    SharedMem, StepOutcome, StepProcess,
+};
+use rlt_core::spec::{Checker, ProcessId, RegisterId};
+
+/// The hunt workload, inlined: the designated writer writes continuously, one
+/// uniformly chosen reader at a time — but unlike `hunt_new_old_inversion` (which
+/// rechecks after completed reads), the monitor here is consulted after **every
+/// delivery**, the finest granularity the message layer has.
+fn monitored_abd_run() {
+    let checker = Checker::new(0i64);
+    let mut monitor = checker.incremental();
+    let mut run = ScheduleRun::new(FaultyAbdCluster::new(5, ProcessId(0)));
+    let mut adversary = ReplyWithholdingAdversary::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let writer = run.cluster().writer();
+    let n = run.cluster().process_count();
+    let mut next_value = 7i64;
+    let mut active_reader: Option<ProcessId> = None;
+    let mut violation_at: Option<u64> = None;
+    while run.deliveries() < 3_000 {
+        if run.cluster().is_idle(writer) && run.start_write(next_value).is_some() {
+            next_value += 1;
+        }
+        if active_reader.is_none() {
+            let r = rng.gen_range(0..n - 1);
+            let p = ProcessId(if r >= writer.0 { r + 1 } else { r });
+            if run.start_read(p).is_some() {
+                active_reader = Some(p);
+            }
+        }
+        if let Some(p) = active_reader {
+            if run.cluster().is_idle(p) {
+                active_reader = None;
+            }
+        }
+        if !run.deliver_next(&mut adversary) {
+            break;
+        }
+        monitor.sync_with_ops(run.cluster().operations());
+        if monitor.verdict_ref().outcome() == Ok(false) {
+            violation_at = Some(run.deliveries());
+            break;
+        }
+    }
+    let at = violation_at.expect("the reply-withholding adversary forces an inversion");
+    let history = run.history();
+    let stats = monitor.stats();
+    println!("faulty ABD cluster under reply-withholding delivery (n = 5, seed 0):");
+    println!("  halted at the first non-linearizable prefix: delivery {at}");
+    println!(
+        "  history at the halt: {} operations, verdicts served: {}",
+        history.len(),
+        stats.verdicts
+    );
+    println!(
+        "  session counters: {} events appended, {} completions, \
+         {} registers resumed, {} reused verbatim, {} re-searched",
+        stats.ops_appended,
+        stats.completions,
+        stats.registers_resumed,
+        stats.registers_reused,
+        stats.registers_researched
+    );
+    println!(
+        "  incremental search states: {} ({:.2} per event) vs {} for one batch check",
+        stats.incremental_states,
+        stats.amortized_states_per_op(),
+        checker.check(&history).stats().states_explored
+    );
+    // The session's final verdict is bit-identical to a batch check — counters too.
+    let incremental = monitor.verdict();
+    let batch = checker.check(&history);
+    assert_eq!(incremental.as_verdict(), &batch);
+    assert!(!batch.is_linearizable());
+    println!("  bit-identical to the batch verdict: true");
+}
+
+/// One process: write 1, then read three times. The scripted resolver hands the
+/// second read a stale 0, which the attached monitor catches at that very step.
+#[derive(Debug, Default)]
+struct StaleReader {
+    state: u8,
+    pending: Option<PendingOp>,
+}
+
+impl StepProcess<i64> for StaleReader {
+    fn step(
+        &mut self,
+        pid: ProcessId,
+        mem: &mut SharedMem<i64>,
+        _coin: &mut CoinSource,
+    ) -> StepOutcome {
+        self.state += 1;
+        match self.state {
+            1 => self.pending = Some(mem.begin_write(pid, RegisterId(0), 1)),
+            2 => mem.finish_write(self.pending.take().expect("write pending")),
+            3 | 5 | 7 => self.pending = Some(mem.begin_read(pid, RegisterId(0))),
+            4 | 6 => {
+                mem.finish_read(self.pending.take().expect("read pending"));
+            }
+            _ => {
+                mem.finish_read(self.pending.take().expect("read pending"));
+                return StepOutcome::Done;
+            }
+        }
+        StepOutcome::Running
+    }
+}
+
+fn monitored_scheduler_run() {
+    let mem: SharedMem<i64> = SharedMem::with_resolver(
+        RegisterMode::Linearizable,
+        0,
+        Box::new(ScriptedResolver::strict(vec![1i64, 0i64, 0i64])),
+    );
+    let mut sched = Scheduler::new(
+        mem,
+        CoinSource::new(7),
+        Box::new(RoundRobinAdversary::new()),
+    );
+    sched.add_process(ProcessId(0), Box::<StaleReader>::default());
+    let checker = Checker::new(0i64);
+    let mut monitor = checker.incremental();
+    let out = sched.run_monitored(10_000, &mut monitor);
+    let at = out
+        .violation_at_step
+        .expect("the scripted stale read must be caught");
+    println!();
+    println!("shared-memory scheduler with a scripted stale read:");
+    println!(
+        "  halted at step {at} ({} of a possible 8 steps run), history: {} operations",
+        out.outcome.steps,
+        sched.history().len()
+    );
+    assert!(!out.outcome.all_done, "the third read must never run");
+    assert_eq!(monitor.history(), &sched.history());
+    assert!(!checker.check(&sched.history()).is_linearizable());
+    println!("  monitor and batch checker agree the prefix is non-linearizable: true");
+}
+
+fn main() {
+    monitored_abd_run();
+    monitored_scheduler_run();
+}
