@@ -13,6 +13,7 @@
 //! | ABD in message passing and the `f*` construction | [`mp`], [`spec`] | Theorem 14 |
 //! | Algorithm 1, the Theorem 6 adversary, termination statistics | [`game`] | Theorems 6, 7; Corollaries 8, 9 |
 //! | Randomized consensus (the task `T` of Corollary 9) | [`consensus`] | Corollary 9 |
+//! | Checking as a long-lived HTTP service (one-shot, batch, enumeration, monitoring sessions) | [`server`] | systems layer over Definition 2 |
 //!
 //! # Quick start
 //!
@@ -56,6 +57,11 @@ pub mod game {
 /// The randomized consensus task substrate (re-export of [`rlt_consensus`]).
 pub mod consensus {
     pub use rlt_consensus::*;
+}
+
+/// The long-lived HTTP checking service (re-export of [`rlt_server`]).
+pub mod server {
+    pub use rlt_server::*;
 }
 
 /// The most commonly used items across the whole workspace.

@@ -28,7 +28,7 @@
 //! underlying search exactly as far as the consumer pulls.
 
 use crate::engine::{
-    Engine, EnumerationLimitExceeded, Linearizations, MemoStats, ScratchPool,
+    Engine, EnumerationLimitExceeded, Linearizations, MemoStats, ScratchPool, StateSketch,
     DEFAULT_SPLIT_THRESHOLD,
 };
 use crate::history::History;
@@ -372,9 +372,24 @@ impl<V: RegisterValue> Checker<V> {
     where
         V: Send + Sync,
     {
+        self.check_sketched(history).0
+    }
+
+    /// [`Checker::check`] plus the check's [`StateSketch`]: an HLL sketch of the
+    /// distinct search configurations the check memoized, mergeable across checks by
+    /// a long-lived aggregator (a checking service's `/metrics` endpoint). The
+    /// verdict is the *same* object [`Checker::check`] would return — callers that
+    /// also hold a direct `check` result can compare them bit-for-bit.
+    #[must_use]
+    pub fn check_sketched(&self, history: &History<V>) -> (Verdict<V>, StateSketch)
+    where
+        V: Send + Sync,
+    {
         match self.threads {
-            ThreadPolicy::Fixed(n) => self.fixed_pool(n).install(|| self.check_local(history)),
-            _ => self.check_local(history),
+            ThreadPolicy::Fixed(n) => self
+                .fixed_pool(n)
+                .install(|| self.check_local_sketched(history)),
+            _ => self.check_local_sketched(history),
         }
     }
 
@@ -435,6 +450,12 @@ impl<V: RegisterValue> Checker<V> {
     /// deprecated free-function shims and the [`crate::swmr::SwmrCanonical`]
     /// fallback delegate here for exactly that reason.
     pub fn check_local(&self, history: &History<V>) -> Verdict<V> {
+        self.check_local_sketched(history).0
+    }
+
+    /// [`Checker::check_local`] plus the check's [`StateSketch`] (see
+    /// [`Checker::check_sketched`]).
+    pub fn check_local_sketched(&self, history: &History<V>) -> (Verdict<V>, StateSketch) {
         let fresh = ScratchPool::new();
         let scratch = if self.scratch_reuse {
             &self.scratch
@@ -460,15 +481,18 @@ impl<V: RegisterValue> Checker<V> {
         } else {
             None
         };
-        Verdict::new(
-            decision,
-            witness,
-            CheckStats {
-                states_explored: outcome.states_explored,
-                states_memoized: outcome.states_memoized,
-                enumeration_nodes: 0,
-                memo: outcome.memo,
-            },
+        (
+            Verdict::new(
+                decision,
+                witness,
+                CheckStats {
+                    states_explored: outcome.states_explored,
+                    states_memoized: outcome.states_memoized,
+                    enumeration_nodes: 0,
+                    memo: outcome.memo,
+                },
+            ),
+            outcome.sketch,
         )
     }
 

@@ -402,6 +402,91 @@ impl MemoStats {
     }
 }
 
+/// A HyperLogLog sketch of distinct memoized search configurations.
+///
+/// The memo table hashes every configuration it stores (the same 64-bit hash that
+/// feeds the slot index and the 16-bit slot fingerprint); the sketch folds each
+/// fresh insert's hash into 64 one-byte HLL registers, so a long-lived owner — a
+/// checking service aggregating across requests — can estimate how many *distinct*
+/// search states it has memoized without keeping any of them. Merging is
+/// element-wise max: commutative, associative, and idempotent, so re-observing a
+/// request or merging per-register sketches in any order gives the same sketch.
+///
+/// Like every other search statistic, the per-check sketch is deterministic —
+/// bit-identical across thread policies, pool widths, and scratch reuse (the
+/// parallel determinism suite compares it as part of [`CheckOutcome`] equality).
+/// With 64 registers the estimate's standard error is ~13%: a metrics sketch, not
+/// an exact count. Configurations are hashed per register subproblem, so two
+/// structurally identical registers contribute the same fingerprints — the sketch
+/// measures distinct search *shapes*, which is exactly what a cross-request cache
+/// observability metric wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSketch {
+    regs: [u8; HLL_REGISTERS],
+}
+
+/// Number of HLL registers in a [`StateSketch`]; the top `HLL_INDEX_BITS` bits of a
+/// fingerprint pick the register, the rest feed the rank.
+const HLL_REGISTERS: usize = 64;
+const HLL_INDEX_BITS: u32 = 6;
+
+impl Default for StateSketch {
+    fn default() -> Self {
+        StateSketch {
+            regs: [0; HLL_REGISTERS],
+        }
+    }
+}
+
+impl StateSketch {
+    /// Folds one 64-bit fingerprint into the sketch.
+    #[inline]
+    pub fn observe(&mut self, hash: u64) {
+        let idx = (hash >> (64 - HLL_INDEX_BITS)) as usize;
+        // Rank of the remaining 58 bits: leading-zero count + 1, saturating when
+        // they are all zero. `u8::max` keeps the per-register maximum.
+        let rank = ((hash << HLL_INDEX_BITS) | 1 << (HLL_INDEX_BITS - 1)).leading_zeros() + 1;
+        let slot = &mut self.regs[idx];
+        *slot = (*slot).max(rank as u8);
+    }
+
+    /// Element-wise max merge of another sketch.
+    pub fn merge(&mut self, other: &StateSketch) {
+        for (a, &b) in self.regs.iter_mut().zip(other.regs.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// `true` when nothing has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regs.iter().all(|&r| r == 0)
+    }
+
+    /// Estimated number of distinct fingerprints observed (standard HLL estimator
+    /// with the linear-counting small-range correction).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let m = HLL_REGISTERS as f64;
+        let zeros = self.regs.iter().filter(|&&r| r == 0).count();
+        let sum: f64 = self.regs.iter().map(|&r| 0.5f64.powi(i32::from(r))).sum();
+        // alpha_64 = 0.7213 / (1 + 1.079 / 64).
+        let raw = 0.709_213 * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// [`StateSketch::estimate`] rounded to the nearest integer, for display and
+    /// deterministic diffing.
+    #[must_use]
+    pub fn estimate_rounded(&self) -> u64 {
+        self.estimate().round() as u64
+    }
+}
+
 /// Slot layout: `generation (8) | fingerprint (16) | arena offset + 1 (40)`.
 const SLOT_GEN_SHIFT: u32 = 56;
 const SLOT_FP_SHIFT: u32 = 40;
@@ -476,6 +561,10 @@ struct MemoTable {
     /// Physical buffer growths since construction — the scratch-reuse suite asserts
     /// this stays flat across a warm batch.
     reallocations: u64,
+    /// HLL sketch of the fresh-insert hashes of the current search (cleared on
+    /// [`MemoTable::begin`]; a resumed search keeps accumulating, which is exactly
+    /// the set a from-scratch search of the grown subproblem would have inserted).
+    hll: StateSketch,
 }
 
 impl Default for MemoTable {
@@ -494,6 +583,7 @@ impl Default for MemoTable {
             compaction_enabled: true,
             probes: 0,
             reallocations: 0,
+            hll: StateSketch::default(),
         }
     }
 }
@@ -524,6 +614,7 @@ impl MemoTable {
         self.len = 0;
         self.arena.clear();
         self.probes = 0;
+        self.hll = StateSketch::default();
     }
 
     /// Memoizes the configuration, returning `true` if it was not seen before in
@@ -587,6 +678,7 @@ impl MemoTable {
         };
         self.probes += probes;
         if fresh {
+            self.hll.observe(hash);
             self.len += 1;
             if self.len >= self.grow_at {
                 self.grow();
@@ -643,6 +735,7 @@ impl MemoTable {
         };
         self.probes += probes;
         if fresh {
+            self.hll.observe(hash);
             self.len += 1;
             if self.len >= self.grow_at {
                 self.grow();
@@ -704,6 +797,7 @@ impl MemoTable {
     fn drain_into(&self, stats: &mut SearchStats) {
         stats.memo.probes += self.probes;
         stats.memo.arena_high_water = stats.memo.arena_high_water.max(self.arena.len() as u64);
+        stats.sketch.merge(&self.hll);
     }
 }
 
@@ -829,6 +923,7 @@ pub(crate) struct SearchStats {
     pub(crate) states_memoized: u64,
     pub(crate) limit_hit: bool,
     pub(crate) memo: MemoStats,
+    pub(crate) sketch: StateSketch,
 }
 
 impl SearchStats {
@@ -838,6 +933,7 @@ impl SearchStats {
         self.states_explored += other.states_explored;
         self.states_memoized += other.states_memoized;
         self.memo.absorb(&other.memo);
+        self.sketch.merge(&other.sketch);
     }
 }
 
@@ -1081,6 +1177,9 @@ pub(crate) fn resume_witness(
         .memo
         .arena_high_water
         .max(scratch.memo.arena.len() as u64);
+    // Assign, not merge: the live table's sketch spans the frozen prefix *and* the
+    // continuation — exactly the fresh-insert set of a from-scratch search.
+    stats.sketch = scratch.memo.hll;
     witness
 }
 
@@ -1568,6 +1667,10 @@ pub struct CheckOutcome {
     pub states_memoized: u64,
     /// Memo-table counters of the check (probes, hits, arena high-water).
     pub memo: MemoStats,
+    /// HLL sketch of the distinct configurations this check memoized (see
+    /// [`StateSketch`]); deterministic like every other statistic, and mergeable
+    /// across checks by a long-lived aggregator.
+    pub sketch: StateSketch,
     /// `true` if the state budget ran out before the search finished; a missing
     /// witness is then inconclusive.
     pub limit_hit: bool,
@@ -1791,6 +1894,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                         states_explored: stats.states_explored,
                         states_memoized: stats.states_memoized,
                         memo: stats.memo,
+                        sketch: stats.sketch,
                         limit_hit: false,
                     }
                 }
@@ -1847,6 +1951,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
             states_explored: stats.states_explored,
             states_memoized: stats.states_memoized,
             memo: stats.memo,
+            sketch: stats.sketch,
             limit_hit: false,
         }
     }
@@ -1884,6 +1989,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
                         states_explored: stats.states_explored,
                         states_memoized: stats.states_memoized,
                         memo: stats.memo,
+                        sketch: stats.sketch,
                         limit_hit: stats.limit_hit,
                     };
                 }
@@ -1940,6 +2046,7 @@ impl<'a, V: RegisterValue> Engine<'a, V> {
             states_explored: stats.states_explored,
             states_memoized: stats.states_memoized,
             memo: stats.memo,
+            sketch: stats.sketch,
             limit_hit: stats.limit_hit,
         }
     }

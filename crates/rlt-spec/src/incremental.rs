@@ -95,7 +95,8 @@ use std::hash::{BuildHasherDefault, Hasher};
 use crate::checker::{order_to_seq, CheckStats, Verdict};
 use crate::engine::{
     memo_size_class, merge_witness_orders, resume_witness, search_register, shard_ranges,
-    words_for, Engine, LocalOp, ScratchPool, SearchScratch, SearchStats, SubProblem, WORD_BITS,
+    words_for, Engine, LocalOp, ScratchPool, SearchScratch, SearchStats, StateSketch, SubProblem,
+    WORD_BITS,
 };
 use crate::history::History;
 use crate::ids::{OpId, RegisterId};
@@ -1064,6 +1065,27 @@ impl<V: RegisterValue> IncrementalChecker<V> {
         let cached = self.cached_verdict.as_mut().expect("just filled");
         cached.incremental = stats;
         cached
+    }
+
+    /// HLL sketch of the distinct search configurations the session's cached
+    /// per-register searches memoized — the union, by element-wise max merge, of
+    /// each register's [`StateSketch`] (see [`Checker::check_sketched`]). Brings
+    /// every register's cache up to date first, so the result matches what a
+    /// from-scratch batch check of the current prefix would sketch whenever the
+    /// shared budget replay would not run dry.
+    ///
+    /// [`Checker::check_sketched`]: crate::checker::Checker::check_sketched
+    pub fn state_sketch(&mut self) -> StateSketch {
+        let mut sketch = StateSketch::default();
+        for k in 0..self.regs.len() {
+            self.ensure_register(k);
+        }
+        for sess in &self.regs {
+            if let Some(cache) = &sess.cached {
+                sketch.merge(&cache.stats.sketch);
+            }
+        }
+        sketch
     }
 
     fn compute_verdict(&mut self) -> IncrementalVerdict<V> {

@@ -65,11 +65,12 @@ pub mod strategy;
 pub mod strong;
 pub mod swmr;
 pub mod value;
+pub mod wire;
 
 pub use checker::{CheckError, CheckStats, Checker, CheckerBuilder, ThreadPolicy, Verdict};
 pub use engine::{
     CheckOutcome, Engine, EnumerationLimitExceeded, Linearizations, MemoStats, ScratchPool,
-    SearchScratch, DEFAULT_SPLIT_THRESHOLD,
+    SearchScratch, StateSketch, DEFAULT_SPLIT_THRESHOLD,
 };
 pub use history::{History, HistoryBuilder};
 pub use ids::{OpId, ProcessId, RegisterId, Time};
@@ -91,6 +92,7 @@ pub use strategy::{
 pub use strong::{admits_write_strong_linearization, ExtensionFamily};
 pub use swmr::{canonical_swmr_strategy, swmr_star, SwmrCanonical};
 pub use value::Value;
+pub use wire::{format_history, parse_history, verdict_to_json, WireError};
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {

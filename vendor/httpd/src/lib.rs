@@ -1,0 +1,606 @@
+//! Minimal offline HTTP/1.1 server and client over `std::net`.
+//!
+//! The build environment has no crates.io access, so this crate plays the role a
+//! hyper/axum stack would: just enough HTTP/1.1 for a loopback checking service —
+//! blocking I/O, a fixed pool of accept workers over a shared [`TcpListener`],
+//! keep-alive connections, `Content-Length` bodies, and a graceful shutdown that
+//! drains in-flight requests before the workers exit.
+//!
+//! Deliberately *not* here: TLS, chunked transfer encoding, HTTP/2, async. The
+//! consumers (`rlt-server`, its load generator, and CI smoke runs) speak plain
+//! `Content-Length`-framed HTTP/1.1 over loopback.
+//!
+//! # Server shape
+//!
+//! Each worker thread owns a [`TcpListener`] clone and loops `accept` →
+//! per-connection keep-alive loop. Reads carry a short timeout so an idle
+//! connection polls the shared stop flag instead of blocking forever; shutdown
+//! sets the flag and then opens one dummy connection per worker to kick any
+//! thread still parked in `accept`. A worker mid-request finishes writing its
+//! response before it re-checks the flag — that is the draining guarantee the
+//! server tests pin.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked read waits before re-checking the stop flag.
+const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// A parsed HTTP request as delivered to the handler.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any query string split off.
+    pub path: String,
+    /// The query string after `?`, if present (without the `?`).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length`-framed; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if it is valid UTF-8.
+    #[must_use]
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// An HTTP response the handler returns.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `400`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+/// The canonical reason phrase for the status codes this stack uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Number of accept/handle worker threads.
+    pub workers: usize,
+    /// Maximum accepted `Content-Length`; larger bodies get `413` and the
+    /// connection closed without reading the body.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A running HTTP server; dropping it without [`Server::shutdown`] aborts the
+/// process-exit way (threads are detached by the join handles being dropped).
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `handler` on `config.workers` threads.
+    ///
+    /// The handler runs on worker threads, one call per request; it must be
+    /// `Send + Sync` and is shared by reference.
+    pub fn bind<H>(config: &ServerConfig, handler: Arc<H>) -> io::Result<Server>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let listener = listener.try_clone()?;
+            let stop = Arc::clone(&stop);
+            let handler = Arc::clone(&handler);
+            let max_body = config.max_body;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&listener, &stop, handler.as_ref(), max_body);
+            }));
+        }
+        Ok(Server {
+            local_addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when an ephemeral one was asked for).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stops accepting, lets every in-flight request finish,
+    /// and joins the workers.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Kick workers parked in `accept`: one dummy connection per worker. The
+        // worker wakes, re-checks the flag, and exits its loop.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop<H>(listener: &TcpListener, stop: &AtomicBool, handler: &H, max_body: usize)
+where
+    H: Fn(&Request) -> Response,
+{
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, stop, handler, max_body),
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One connection's keep-alive loop. Returns when the peer closes, asks for
+/// `Connection: close`, sends garbage, or the server is stopping *and* the
+/// connection is idle (a request already in progress is always served first).
+fn handle_connection<H>(mut stream: TcpStream, stop: &AtomicBool, handler: &H, max_body: usize)
+where
+    H: Fn(&Request) -> Response,
+{
+    let _ = stream.set_read_timeout(Some(POLL_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        match read_request(&mut stream, &mut buf, stop, max_body) {
+            Ok(Some(req)) => {
+                let close = req
+                    .header("connection")
+                    .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+                let resp = handler(&req);
+                if write_response(&mut stream, &resp, close).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(status) => {
+                let resp = Response::text(status, format!("{} {}\n", status, reason(status)));
+                let _ = write_response(&mut stream, &resp, true);
+                return;
+            }
+        }
+    }
+}
+
+/// Reads one request. `Ok(None)` means the connection ended cleanly (peer close
+/// on an idle connection, or server stop while idle). `Err(status)` means the
+/// peer sent something unservable and should get that status before close.
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    stop: &AtomicBool,
+    max_body: usize,
+) -> Result<Option<Request>, u16> {
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the header terminator.
+    let header_end = loop {
+        if let Some(pos) = find_crlf2(buf) {
+            break pos;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() { Ok(None) } else { Err(400) };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll: give up only when the server is stopping and no
+                // request has started arriving on this connection.
+                if buf.is_empty() && stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return if buf.is_empty() { Ok(None) } else { Err(400) },
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(400);
+        }
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| 400u16)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(400u16)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(400u16)?.to_string();
+    let target = parts.next().ok_or(400u16)?;
+    let version = parts.next().ok_or(400u16)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(400);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(400u16)?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map_or(Ok(0), |(_, v)| v.parse().map_err(|_| 400u16))?;
+    if content_length > max_body {
+        return Err(413);
+    }
+    // Phase 2: read the body. A request has started, so timeouts keep polling
+    // even during shutdown — this is the in-flight drain.
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(400),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(400),
+        }
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    // Keep any pipelined bytes for the next request on this connection.
+    buf.drain(..body_start + content_length);
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+fn find_crlf2(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// A response as seen by the [`Client`].
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Body decoded as UTF-8 (lossy).
+    pub body: String,
+}
+
+/// A blocking keep-alive HTTP/1.1 client for loopback use.
+///
+/// One connection, reused across requests; a dead connection (server worker
+/// recycled, keep-alive raced with close) is re-dialed once per request.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// Creates a client for `addr`; the connection is dialed lazily.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        Ok(Client { addr, stream: None })
+    }
+
+    /// Sends a `GET`.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, "")
+    }
+
+    /// Sends a `POST` with a `text/plain` body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, body)
+    }
+
+    /// Sends a `DELETE`.
+    pub fn delete(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("DELETE", path, "")
+    }
+
+    /// Sends one request, re-dialing once if the kept-alive connection died.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+        let fresh = self.stream.is_none();
+        match self.try_request(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(e) if !fresh => {
+                // The kept-alive connection may have been closed under us;
+                // retry exactly once on a fresh connection.
+                let _ = e;
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(self.addr)?;
+            s.set_nodelay(true)?;
+            self.stream = Some(s);
+        }
+        let stream = self.stream.as_mut().expect("just ensured");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: rlt\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let result = (|| {
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+            read_client_response(stream)
+        })();
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+}
+
+fn read_client_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_crlf2(&buf) {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Ok(HttpResponse {
+        status,
+        body: String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> (Server, SocketAddr) {
+        let config = ServerConfig {
+            workers: 2,
+            max_body: 1024,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(
+            &config,
+            Arc::new(|req: &Request| {
+                let body = req.body_str().unwrap_or("").to_string();
+                match (req.method.as_str(), req.path.as_str()) {
+                    ("GET", "/ping") => Response::text(200, "pong"),
+                    ("GET", "/query") => Response::text(200, req.query.clone().unwrap_or_default()),
+                    ("POST", "/echo") => Response::text(200, body),
+                    _ => Response::text(404, "nope"),
+                }
+            }),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        (server, addr)
+    }
+
+    #[test]
+    fn round_trip_get_and_post_keep_alive() {
+        let (server, addr) = echo_server();
+        let mut client = Client::connect(addr).expect("connect");
+        let r = client.get("/ping").expect("get");
+        assert_eq!((r.status, r.body.as_str()), (200, "pong"));
+        // Same connection, different method and a body.
+        let r = client.post("/echo", "hello ⊥ world").expect("post");
+        assert_eq!((r.status, r.body.as_str()), (200, "hello ⊥ world"));
+        let r = client.get("/query?max=7").expect("query");
+        assert_eq!(r.body, "max=7");
+        let r = client.get("/missing").expect("404");
+        assert_eq!(r.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        let (server, addr) = echo_server();
+        let mut client = Client::connect(addr).expect("connect");
+        let big = "x".repeat(2048);
+        let r = client.post("/echo", &big).expect("post");
+        assert_eq!(r.status, 413);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (server, addr) = echo_server();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"NONSENSE\r\n\r\n").expect("write");
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_request() {
+        let config = ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(
+            &config,
+            Arc::new(|_req: &Request| {
+                std::thread::sleep(Duration::from_millis(200));
+                Response::text(200, "slow done")
+            }),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let t = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client.get("/slow").expect("request survives shutdown")
+        });
+        // Let the request reach the handler, then shut down while it sleeps.
+        std::thread::sleep(Duration::from_millis(50));
+        server.shutdown();
+        let r = t.join().expect("client thread");
+        assert_eq!((r.status, r.body.as_str()), (200, "slow done"));
+    }
+
+    #[test]
+    fn parallel_clients_share_the_worker_pool() {
+        let (server, addr) = echo_server();
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            joins.push(std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for j in 0..16 {
+                    let msg = format!("m{i}-{j}");
+                    let r = client.post("/echo", &msg).expect("post");
+                    assert_eq!((r.status, r.body), (200, msg));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("client thread");
+        }
+        server.shutdown();
+    }
+}
