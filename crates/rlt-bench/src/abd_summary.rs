@@ -281,6 +281,89 @@ fn minimize_row(checker: &Checker<i64>) -> MinimizeRow {
     }
 }
 
+/// Scenario seeds of the E17 fuzzer rediscovery row.
+pub const FUZZ_SEEDS: u64 = 50;
+
+/// Scenario seeds the rediscovery row must succeed on (of [`FUZZ_SEEDS`]).
+pub const FUZZ_FOUND_FLOOR: u64 = 45;
+
+struct FuzzRows {
+    found: u64,
+    median_budget: u64,
+    min_budget: u64,
+    max_budget: u64,
+    max_min_deliveries: usize,
+    all_verified: bool,
+    coverage_units: u64,
+    coverage_budget: u64,
+    coverage_per_1000: u64,
+}
+
+/// The E17 rows: coverage-guided rediscovery of the faulty cluster's new/old
+/// inversion from clean recorded schedules only (no targeted adversary), and the
+/// coverage yield of a fixed no-early-stop run. All numbers are deterministic
+/// per seed, so these double as CI regression gates.
+fn fuzz_rows() -> FuzzRows {
+    use rlt_mp::fuzz::{fuzz_faulty_rediscovery, FuzzConfig};
+    let config = FuzzConfig::default();
+    let mut budgets: Vec<u64> = Vec::new();
+    let mut found = 0u64;
+    let mut max_min_deliveries = 0usize;
+    let mut all_verified = true;
+    for seed in 0..FUZZ_SEEDS {
+        let report = fuzz_faulty_rediscovery(seed, &config);
+        if let Some(trophy) = report.trophies.first() {
+            found += 1;
+            budgets.push(
+                report
+                    .first_trophy_budget
+                    .expect("trophy implies budget mark"),
+            );
+            max_min_deliveries = max_min_deliveries.max(trophy.min_deliveries);
+            all_verified &= trophy.verified;
+        } else {
+            budgets.push(config.delivery_budget);
+        }
+        assert_eq!(
+            report.write_strong_refutations, 0,
+            "write-strong refutation alarm on seed {seed}"
+        );
+    }
+    assert!(
+        found >= FUZZ_FOUND_FLOOR,
+        "fuzzer rediscovered the inversion on only {found}/{FUZZ_SEEDS} seeds"
+    );
+    assert!(all_verified, "every trophy must replay bit-identically");
+    assert!(
+        max_min_deliveries <= 25,
+        "a ddmin'd trophy kept {max_min_deliveries} deliveries"
+    );
+    budgets.sort_unstable();
+    // Coverage yield: one fixed-seed run with early stopping off, so the corpus
+    // keeps breeding for the whole budget.
+    let coverage_config = FuzzConfig {
+        stop_at_first_trophy: false,
+        max_trophies: usize::MAX,
+        generations: 12,
+        delivery_budget: 60_000,
+        ..FuzzConfig::default()
+    };
+    let coverage_report = fuzz_faulty_rediscovery(0, &coverage_config);
+    let coverage_per_1000 =
+        coverage_report.coverage_units * 1_000 / coverage_report.budget_used.max(1);
+    FuzzRows {
+        found,
+        median_budget: budgets[budgets.len() / 2],
+        min_budget: budgets[0],
+        max_budget: *budgets.last().expect("FUZZ_SEEDS > 0"),
+        max_min_deliveries,
+        all_verified,
+        coverage_units: coverage_report.coverage_units,
+        coverage_budget: coverage_report.budget_used,
+        coverage_per_1000,
+    }
+}
+
 /// Measures everything and writes the `BENCH_abd.json` artifact to `out_path`.
 pub fn write_abd_json(out_path: &str) {
     // E3: write+read round-trip cost vs cluster size, and under minority crashes.
@@ -346,6 +429,9 @@ pub fn write_abd_json(out_path: &str) {
     let lossy = faulty_lossy_row(&checker);
     let hunt_loop = hunt_loop_row(&checker);
     let minimize = minimize_row(&checker);
+    // E17: the untargeted coverage-guided fuzzer, measured against the same
+    // inversion the E13 targeted adversaries hunt.
+    let fuzz = fuzz_rows();
 
     let mut json = String::from("{\n  \"experiment\": \"E3-abd-cost\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -458,13 +544,50 @@ pub fn write_abd_json(out_path: &str) {
         json,
         "  \"minimize\": {{\"adversary\": \"reply_withholding\", \"scenario_seed\": {}, \
          \"raw_deliveries\": {}, \"min_deliveries\": {}, \"min_steps\": {}, \
-         \"replays_tried\": {}, \"replay_deterministic\": {}}}",
+         \"replays_tried\": {}, \"replay_deterministic\": {}}},",
         minimize.scenario_seed,
         minimize.raw_deliveries,
         minimize.min_deliveries,
         minimize.min_steps,
         minimize.replays_tried,
         minimize.replay_deterministic
+    );
+    eprintln!(
+        "{:>20}: found {}/{} seeds, median {} budget units to trophy (min {}, max {}), \
+         ddmin max {} deliveries, verified: {}",
+        "fuzz_rediscovery",
+        fuzz.found,
+        FUZZ_SEEDS,
+        fuzz.median_budget,
+        fuzz.min_budget,
+        fuzz.max_budget,
+        fuzz.max_min_deliveries,
+        fuzz.all_verified
+    );
+    eprintln!(
+        "{:>20}: {} coverage units over {} budget units = {} per 1000 deliveries",
+        "fuzz_coverage", fuzz.coverage_units, fuzz.coverage_budget, fuzz.coverage_per_1000
+    );
+    let _ = writeln!(
+        json,
+        "  \"fuzz_experiment\": \"E17-coverage-guided-schedule-fuzzing\",\n  \
+         \"fuzz_workload\": {{\"cluster\": \"faulty_abd\", \"processes\": {HUNT_PROCESSES}, \
+         \"seeds\": {FUZZ_SEEDS}, \"corpus\": \"clean recorded schedules only\"}},\n  \
+         \"fuzz_rows\": [\n    \
+         {{\"row\": \"rediscovery_median\", \"found\": {}, \"median_budget\": {}, \
+         \"min_budget\": {}, \"max_budget\": {}, \"max_min_deliveries\": {}, \
+         \"all_verified\": {}}},\n    \
+         {{\"row\": \"coverage_per_1000_deliveries\", \"coverage_units\": {}, \
+         \"budget_used\": {}, \"value\": {}}}\n  ]",
+        fuzz.found,
+        fuzz.median_budget,
+        fuzz.min_budget,
+        fuzz.max_budget,
+        fuzz.max_min_deliveries,
+        fuzz.all_verified,
+        fuzz.coverage_units,
+        fuzz.coverage_budget,
+        fuzz.coverage_per_1000
     );
     json.push_str("}\n");
     std::fs::write(out_path, &json).expect("write ABD summary JSON");

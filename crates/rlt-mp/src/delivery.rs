@@ -320,6 +320,10 @@ impl InflightQueue {
 pub enum ClientEvent {
     /// The designated writer invokes `write(value)`.
     StartWrite(i64),
+    /// Process `p` invokes `write(value)` — only meaningful on multi-writer
+    /// clusters (see [`MessageCluster::try_start_write_by`]); on single-writer
+    /// clusters it is a no-op unless `p` is the designated writer.
+    StartWriteBy(ProcessId, i64),
     /// Process `p` invokes a read.
     StartRead(ProcessId),
     /// Process `p` fail-stops.
@@ -402,6 +406,10 @@ impl FromStr for EnvelopeKey {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Tolerate duplicate/trailing whitespace: mutated schedule text is not
+        // always as tidy as recorded text.
+        let s = s.split_whitespace().collect::<Vec<_>>().join(" ");
+        let s = s.as_str();
         let (endpoints, kind) = s
             .split_once(' ')
             .ok_or_else(|| format!("envelope key `{s}` is missing its message kind"))?;
@@ -426,6 +434,9 @@ impl fmt::Display for ScheduleStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleStep::Event(ClientEvent::StartWrite(v)) => write!(f, "write {v}"),
+            ScheduleStep::Event(ClientEvent::StartWriteBy(p, v)) => {
+                write!(f, "write-by {} {v}", p.0)
+            }
             ScheduleStep::Event(ClientEvent::StartRead(p)) => write!(f, "read {}", p.0),
             ScheduleStep::Event(ClientEvent::Crash(p)) => write!(f, "crash {}", p.0),
             ScheduleStep::Event(ClientEvent::Recover(p)) => write!(f, "recover {}", p.0),
@@ -447,12 +458,25 @@ impl FromStr for ScheduleStep {
         fn num<T: FromStr>(s: &str, what: &str) -> Result<T, String> {
             s.parse().map_err(|_| format!("bad {what} `{s}`"))
         }
-        let s = s.trim();
+        // Normalize to single spaces first so duplicate and trailing whitespace
+        // (common in hand-edited or mutated schedule text) parse like the
+        // canonical `Display` form.
+        let s = s.split_whitespace().collect::<Vec<_>>().join(" ");
+        let s = s.as_str();
         let (verb, rest) = s.split_once(' ').unwrap_or((s, ""));
         match verb {
             "write" => Ok(ScheduleStep::Event(ClientEvent::StartWrite(num(
                 rest, "value",
             )?))),
+            "write-by" => {
+                let (p, v) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("write-by step `{s}` needs `<process> <value>`"))?;
+                Ok(ScheduleStep::Event(ClientEvent::StartWriteBy(
+                    ProcessId(num(p, "process")?),
+                    num(v, "value")?,
+                )))
+            }
             "read" => Ok(ScheduleStep::Event(ClientEvent::StartRead(ProcessId(num(
                 rest, "process",
             )?)))),
@@ -611,18 +635,36 @@ impl FromStr for Schedule {
     type Err = ScheduleParseError;
 
     /// Parses the textual form produced by `Display`. Blank lines and `#` comment
-    /// lines are ignored.
+    /// lines are ignored, and duplicate/trailing whitespace inside a step is
+    /// tolerated. A `heal` step that references a partition id no earlier
+    /// `partition` step declared is rejected with the offending line number:
+    /// such a step could never do anything at replay time, so it is a recording
+    /// or hand-editing bug, not a schedule.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut steps = Vec::new();
+        let mut declared: Vec<u32> = Vec::new();
         for (idx, line) in s.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            steps.push(line.parse().map_err(|message| ScheduleParseError {
+            let step: ScheduleStep = line.parse().map_err(|message| ScheduleParseError {
                 line: idx + 1,
                 message,
-            })?);
+            })?;
+            match step {
+                ScheduleStep::Partition { id, .. } if !declared.contains(&id) => {
+                    declared.push(id);
+                }
+                ScheduleStep::Heal(id) if !declared.contains(&id) => {
+                    return Err(ScheduleParseError {
+                        line: idx + 1,
+                        message: format!("heal references unknown partition id {id}"),
+                    });
+                }
+                _ => {}
+            }
+            steps.push(step);
         }
         Ok(Schedule { steps })
     }
@@ -655,6 +697,18 @@ pub trait MessageCluster {
     /// Starts a read by `p` if it is idle, alive, and in range; returns `None`
     /// (without recording anything) otherwise.
     fn try_start_read(&mut self, p: ProcessId) -> Option<OpId>;
+
+    /// Starts a write of `value` by process `p`. The default covers single-writer
+    /// clusters: the event fires only when `p` *is* the designated writer (so
+    /// replaying a multi-writer schedule on a single-writer cluster skips foreign
+    /// writes, keeping replay total); multi-writer clusters override it.
+    fn try_start_write_by(&mut self, p: ProcessId, value: i64) -> Option<OpId> {
+        if p == self.writer() {
+            self.try_start_write(value)
+        } else {
+            None
+        }
+    }
 
     /// Reacts to `p`'s retry timer firing: re-broadcast the messages of `p`'s current
     /// protocol phase (if any) and re-arm the backed-off timer. Called by
@@ -783,6 +837,7 @@ pub trait MessageCluster {
     fn apply_event(&mut self, event: ClientEvent) -> bool {
         match event {
             ClientEvent::StartWrite(value) => self.try_start_write(value).is_some(),
+            ClientEvent::StartWriteBy(p, value) => self.try_start_write_by(p, value).is_some(),
             ClientEvent::StartRead(p) => self.try_start_read(p).is_some(),
             ClientEvent::Crash(p) => {
                 self.crash_process(p);
@@ -863,6 +918,18 @@ impl<C: MessageCluster> ScheduleRun<C> {
             self.schedule
                 .steps
                 .push(ScheduleStep::Event(ClientEvent::StartWrite(value)));
+        }
+        op
+    }
+
+    /// Starts a write by process `p` (multi-writer clusters; see
+    /// [`MessageCluster::try_start_write_by`]), recording it if it took effect.
+    pub fn start_write_by(&mut self, p: ProcessId, value: i64) -> Option<OpId> {
+        let op = self.cluster.try_start_write_by(p, value);
+        if op.is_some() {
+            self.schedule
+                .steps
+                .push(ScheduleStep::Event(ClientEvent::StartWriteBy(p, value)));
         }
         op
     }

@@ -62,6 +62,23 @@ impl FaultLog {
     pub fn lossy_events(&self) -> u64 {
         self.drops + self.delays + self.partition_holds + self.purges + self.dead_sends
     }
+
+    /// Field-wise sum of another log into this one.
+    ///
+    /// Addition is commutative and associative, so per-worker shards (one log
+    /// per fuzz replay, say) aggregate to the same totals no matter how the
+    /// work was split across the pool or in which order the shards fold in —
+    /// the property the merge-order independence test pins.
+    pub fn merge(&mut self, other: &FaultLog) {
+        self.drops += other.drops;
+        self.duplicates += other.duplicates;
+        self.delays += other.delays;
+        self.partition_holds += other.partition_holds;
+        self.purges += other.purges;
+        self.dead_sends += other.dead_sends;
+        self.timer_fires += other.timer_fires;
+        self.retransmissions += other.retransmissions;
+    }
 }
 
 /// A named, installable network partition: a cut of the process set into the `side`
@@ -887,6 +904,38 @@ mod tests {
             to: ProcessId(to),
             message: AbdMessage::WriteReq { seq, value: 0 },
         }
+    }
+
+    #[test]
+    fn fault_log_merge_is_order_independent() {
+        // Three distinct shards with every counter populated differently.
+        let shards: Vec<FaultLog> = (1..=3u64)
+            .map(|k| FaultLog {
+                drops: k,
+                duplicates: 10 * k,
+                delays: 100 * k,
+                partition_holds: k * k,
+                purges: 7 * k,
+                dead_sends: k + 1,
+                timer_fires: 3 * k,
+                retransmissions: 13 * k,
+            })
+            .collect();
+        let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 0, 1], [1, 2, 0]];
+        let merged: Vec<FaultLog> = orders
+            .iter()
+            .map(|order| {
+                let mut total = FaultLog::default();
+                for &i in order {
+                    total.merge(&shards[i]);
+                }
+                total
+            })
+            .collect();
+        assert_eq!(merged[0], merged[1]);
+        assert_eq!(merged[0], merged[2]);
+        assert_eq!(merged[0].drops, 6);
+        assert_eq!(merged[0].lossy_events(), 6 + 600 + 14 + 42 + 9);
     }
 
     #[test]

@@ -30,6 +30,13 @@
 //!   plus the [`adversary::hunt_new_old_inversion`] counterexample search.
 //! * A seeded delta-debugging [`minimize`]r that shrinks a failing schedule to a
 //!   1-minimal counterexample which replays deterministically.
+//! * A coverage-guided schedule [`mod@fuzz`]er that mutates recorded schedules at scale,
+//!   keeps mutants discovering novel checker-state or schedule-shape coverage, and
+//!   ddmin-minimizes every confirmed trophy — the untargeted counterpart of the
+//!   hand-written adversaries (see the quickstart below).
+//! * A multi-writer ABD variant ([`MwAbdCluster`], writes tagged with
+//!   `(counter, writer-id)` sequence pairs) in a correct and a write-back-free
+//!   flavor, driven by the `write-by` schedule verb.
 //! * Recorded register-level histories ready to be checked with [`rlt_spec`]:
 //!   linearizability via a [`rlt_spec::Checker`] session and the Theorem 14 property
 //!   via [`rlt_spec::swmr::SwmrCanonical`] and
@@ -83,6 +90,24 @@
 //! minimal.replay_on(&mut replay);
 //! assert!(!checker.check(&replay.history()).is_linearizable());
 //! ```
+//!
+//! # `fuzz_hunt` quickstart
+//!
+//! The same counterexample falls out of the *untargeted* coverage-guided fuzzer,
+//! starting from nothing but clean recorded schedules (no
+//! [`ReplyWithholdingAdversary`]):
+//!
+//! ```no_run
+//! use rlt_mp::fuzz::{fuzz_faulty_rediscovery, FuzzConfig};
+//!
+//! let report = fuzz_faulty_rediscovery(1, &FuzzConfig::default());
+//! let trophy = &report.trophies[0];
+//! assert!(trophy.verified && trophy.min_deliveries <= 25);
+//! println!("{}", trophy.minimized);
+//! ```
+//!
+//! The run is bit-identical per seed at any `RLT_THREADS`; the CLI front-end is
+//! `cargo run --release -p rlt-bench --bin fuzz_hunt -- --smoke`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -92,7 +117,9 @@ pub mod adversary;
 pub mod delivery;
 pub mod faults;
 pub mod faulty;
+pub mod fuzz;
 pub mod minimize;
+pub mod mw;
 
 pub use abd::{AbdCluster, ABD_REGISTER};
 pub use adversary::{
@@ -108,3 +135,9 @@ pub use faults::{
     FaultPlan, FaultScenario, LinkFaults, LinkOverride, Partition, RetryPolicy, SimNet,
 };
 pub use faulty::FaultyAbdCluster;
+pub use fuzz::{
+    fuzz, fuzz_faulty_rediscovery, fuzz_mw_rediscovery, fuzz_strong_distinctions,
+    record_clean_corpus, FuzzConfig, FuzzReport, FuzzTarget, LinearizabilityTarget,
+    StrongFamilyTarget, Trophy,
+};
+pub use mw::{MwAbdCluster, MW_REGISTER};

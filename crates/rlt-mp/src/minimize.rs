@@ -48,15 +48,36 @@ where
     F: Fn() -> C,
     P: Fn(&History<i64>) -> bool,
 {
+    minimize_schedule_by(
+        schedule,
+        |candidate| {
+            let mut cluster = make_cluster();
+            candidate.replay_on(&mut cluster);
+            predicate(&cluster.history())
+        },
+        seed,
+    )
+}
+
+/// The general form of [`minimize_schedule`]: the predicate judges the candidate
+/// *schedule* itself (typically by replaying it however it likes), so properties
+/// that are not functions of a single final history — the extension-family checks
+/// of [`rlt_spec::strong`], say, which replay several prefixes per candidate —
+/// minimize through the same seeded ddmin loop.
+///
+/// # Panics
+///
+/// Panics if the full schedule does not itself satisfy the predicate.
+pub fn minimize_schedule_by<P>(schedule: &Schedule, predicate: P, seed: u64) -> MinimizeReport
+where
+    P: Fn(&Schedule) -> bool,
+{
     let mut replays_tried = 0u64;
     let mut holds = |steps: &[ScheduleStep]| {
         replays_tried += 1;
-        let mut cluster = make_cluster();
-        Schedule {
+        predicate(&Schedule {
             steps: steps.to_vec(),
-        }
-        .replay_on(&mut cluster);
-        predicate(&cluster.history())
+        })
     };
     assert!(
         holds(&schedule.steps),

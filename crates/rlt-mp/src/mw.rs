@@ -1,0 +1,652 @@
+//! Multi-writer ABD on the same wire language and delivery core.
+//!
+//! The paper's results are stated for the SWMR register (and Section 6 shows every
+//! linearizable SWMR implementation is write strongly-linearizable), but the
+//! obvious stress test for the fuzzer is the *multi-writer* generalization: each
+//! write first runs a query phase (a majority read of `(seq, value)` pairs) to pick
+//! a sequence number above everything it saw, with the writer's process id packed
+//! into the low bits as a deterministic tie-breaker. [`MwAbdCluster`] implements
+//! exactly that on the existing [`AbdMessage`] vocabulary — the query phase *is* a
+//! `ReadReq`/`ReadReply` exchange — so every recorded [`crate::delivery::Schedule`],
+//! fault step, and [`crate::adversary::DeliveryAdversary`] applies unchanged.
+//!
+//! Like the single-writer pair ([`crate::AbdCluster`] / [`crate::FaultyAbdCluster`]),
+//! the multi-writer cluster comes in a correct flavor (reads write back before
+//! responding) and a faulty one ([`MwAbdCluster::without_write_back`]): the latter is
+//! the fuzzer's multi-writer stretch target, where new/old inversions can involve
+//! *competing* writers rather than a single partially propagated write.
+
+use crate::delivery::{AbdMessage, Envelope, MessageCluster};
+use crate::faults::{RetryPolicy, SimNet};
+use rlt_spec::{History, OpId, OpKind, Operation, ProcessId, RegisterId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Register id used by the multi-writer implementation in recorded histories.
+pub const MW_REGISTER: RegisterId = RegisterId(402);
+
+/// Bits of a packed sequence number reserved for the writer's process id.
+const PID_BITS: u32 = 6;
+
+/// Packs `(counter, writer)` into a totally ordered sequence number: counters
+/// dominate, the writer id breaks ties deterministically.
+fn pack_seq(counter: u64, writer: ProcessId) -> u64 {
+    (counter << PID_BITS) | writer.0 as u64
+}
+
+/// The counter half of a packed sequence number.
+fn seq_counter(seq: u64) -> u64 {
+    seq >> PID_BITS
+}
+
+#[derive(Debug, Clone)]
+enum Client {
+    Idle,
+    /// Write phase 1: majority query for the highest stored sequence number.
+    WriteQuery {
+        op: OpId,
+        rid: u64,
+        value: i64,
+        replies: BTreeMap<usize, u64>,
+    },
+    /// Write phase 2: majority propagation of the chosen `(seq, value)`.
+    Writing {
+        op: OpId,
+        seq: u64,
+        value: i64,
+        acks: BTreeSet<usize>,
+    },
+    /// Read phase 1: majority query.
+    Reading {
+        op: OpId,
+        rid: u64,
+        replies: BTreeMap<usize, (u64, i64)>,
+    },
+    /// Read phase 2 (correct flavor only): majority write-back of the chosen pair.
+    WritingBack {
+        op: OpId,
+        rid: u64,
+        seq: u64,
+        value: i64,
+        acks: BTreeSet<usize>,
+    },
+}
+
+/// Multi-writer ABD: every process may write, via a query-then-propagate protocol.
+///
+/// All network and failure behavior lives in the embedded [`SimNet`], exactly as in
+/// the single-writer clusters; [`MwAbdCluster::with_retries`] enables timeout-driven
+/// retransmission. [`MwAbdCluster::without_write_back`] removes the read's write-back
+/// phase — the multi-writer analogue of [`crate::FaultyAbdCluster`], and the fuzzer's
+/// multi-writer stretch target.
+#[derive(Debug)]
+pub struct MwAbdCluster {
+    n: usize,
+    write_back: bool,
+    replicas: Vec<(u64, i64)>,
+    clients: Vec<Client>,
+    net: SimNet,
+    next_op: u64,
+    next_rid: u64,
+    ops: Vec<Operation<i64>>,
+}
+
+impl MwAbdCluster {
+    /// Creates a correct (write-back) cluster of `3 <= n <= 64` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `n > 64` (the packed-sequence tie-breaker reserves six
+    /// bits for the writer id).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "need at least three processes");
+        assert!(n <= 1 << PID_BITS, "writer id does not fit the seq packing");
+        MwAbdCluster {
+            n,
+            write_back: true,
+            replicas: vec![(0, 0); n],
+            clients: vec![Client::Idle; n],
+            net: SimNet::new(n),
+            next_op: 0,
+            next_rid: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The faulty flavor: reads respond straight after their majority query, never
+    /// writing back. Not linearizable under adversarial delivery.
+    #[must_use]
+    pub fn without_write_back(mut self) -> Self {
+        self.write_back = false;
+        self
+    }
+
+    /// Enables timeout-driven client retry under `policy`.
+    #[must_use]
+    pub fn with_retries(mut self, policy: RetryPolicy) -> Self {
+        self.net.set_retry(policy);
+        self
+    }
+
+    /// `true` when reads write back before responding (the correct flavor).
+    #[must_use]
+    pub fn writes_back(&self) -> bool {
+        self.write_back
+    }
+
+    fn tick(&mut self) -> Time {
+        self.net.tick()
+    }
+
+    fn send(&mut self, from: ProcessId, to: ProcessId, message: AbdMessage) {
+        self.net.send(Envelope { from, to, message });
+    }
+
+    fn broadcast(&mut self, from: ProcessId, message: AbdMessage) {
+        for to in 0..self.n {
+            self.send(from, ProcessId(to), message.clone());
+        }
+    }
+
+    /// Returns `true` if `p` has no operation in progress.
+    #[must_use]
+    pub fn is_idle(&self, p: ProcessId) -> bool {
+        matches!(self.clients[p.0], Client::Idle)
+    }
+
+    /// Invokes a write of `value` by process `p` (any process may write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is busy, crashed, or out of range.
+    pub fn start_write(&mut self, p: ProcessId, value: i64) -> OpId {
+        assert!(p.0 < self.n, "process out of range");
+        assert!(!self.net.is_crashed(p), "process {p} has crashed");
+        assert!(self.is_idle(p), "process busy");
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        let t = self.tick();
+        self.ops.push(Operation {
+            id: op,
+            process: p,
+            register: MW_REGISTER,
+            kind: OpKind::Write(value),
+            invoked_at: t,
+            responded_at: None,
+        });
+        self.next_rid += 1;
+        let rid = self.next_rid;
+        self.clients[p.0] = Client::WriteQuery {
+            op,
+            rid,
+            value,
+            replies: BTreeMap::new(),
+        };
+        self.broadcast(p, AbdMessage::ReadReq { rid });
+        self.net.arm_retry(p);
+        op
+    }
+
+    /// Invokes a read by `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is busy, crashed, or out of range.
+    pub fn start_read(&mut self, p: ProcessId) -> OpId {
+        assert!(p.0 < self.n, "process out of range");
+        assert!(!self.net.is_crashed(p), "process {p} has crashed");
+        assert!(self.is_idle(p), "process busy");
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        let t = self.tick();
+        self.ops.push(Operation {
+            id: op,
+            process: p,
+            register: MW_REGISTER,
+            kind: OpKind::Read(None),
+            invoked_at: t,
+            responded_at: None,
+        });
+        self.next_rid += 1;
+        let rid = self.next_rid;
+        self.clients[p.0] = Client::Reading {
+            op,
+            rid,
+            replies: BTreeMap::new(),
+        };
+        self.broadcast(p, AbdMessage::ReadReq { rid });
+        self.net.arm_retry(p);
+        op
+    }
+
+    fn respond(&mut self, op: OpId, read_value: Option<i64>) {
+        let t = self.tick();
+        let rec = self.ops.iter_mut().find(|o| o.id == op).unwrap();
+        rec.responded_at = Some(t);
+        if let Some(v) = read_value {
+            rec.kind = OpKind::Read(Some(v));
+        }
+    }
+
+    /// Delivers the in-flight message at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free or out of bounds.
+    pub fn deliver(&mut self, slot: usize) {
+        let env = self.net.take_slot(slot);
+        let to = env.to;
+        debug_assert!(
+            !self.net.is_crashed(to),
+            "messages to crashed processes are purged on crash"
+        );
+        self.tick();
+        let majority = self.n / 2 + 1;
+        match env.message {
+            AbdMessage::WriteReq { seq, value } => {
+                if seq > self.replicas[to.0].0 {
+                    self.replicas[to.0] = (seq, value);
+                }
+                self.send(to, env.from, AbdMessage::WriteAck { seq });
+            }
+            AbdMessage::WriteAck { seq } => {
+                if let Client::Writing {
+                    op, seq: s, acks, ..
+                } = &mut self.clients[to.0]
+                {
+                    if *s == seq {
+                        acks.insert(env.from.0);
+                        if acks.len() >= majority {
+                            let op = *op;
+                            self.clients[to.0] = Client::Idle;
+                            self.net.cancel_retry(to);
+                            self.respond(op, None);
+                        }
+                    }
+                }
+            }
+            AbdMessage::ReadReq { rid } => {
+                let (seq, value) = self.replicas[to.0];
+                self.send(to, env.from, AbdMessage::ReadReply { rid, seq, value });
+            }
+            AbdMessage::ReadReply { rid, seq, value } => match &mut self.clients[to.0] {
+                // A reply can answer either a read's query or a write's query phase;
+                // the client state (one operation in progress at a time) plus the rid
+                // disambiguates.
+                Client::WriteQuery {
+                    op,
+                    rid: r,
+                    value: v,
+                    replies,
+                } if *r == rid => {
+                    replies.insert(env.from.0, seq);
+                    if replies.len() >= majority {
+                        let top = replies.values().copied().max().unwrap_or(0);
+                        let new_seq = pack_seq(seq_counter(top) + 1, to);
+                        let (op, v) = (*op, *v);
+                        self.clients[to.0] = Client::Writing {
+                            op,
+                            seq: new_seq,
+                            value: v,
+                            acks: BTreeSet::new(),
+                        };
+                        self.broadcast(
+                            to,
+                            AbdMessage::WriteReq {
+                                seq: new_seq,
+                                value: v,
+                            },
+                        );
+                        self.net.rearm_retry(to);
+                    }
+                }
+                Client::Reading {
+                    op,
+                    rid: r,
+                    replies,
+                } if *r == rid => {
+                    replies.insert(env.from.0, (seq, value));
+                    if replies.len() >= majority {
+                        let &(best_seq, best_value) = replies.values().max().unwrap();
+                        let op = *op;
+                        if self.write_back {
+                            self.clients[to.0] = Client::WritingBack {
+                                op,
+                                rid,
+                                seq: best_seq,
+                                value: best_value,
+                                acks: BTreeSet::new(),
+                            };
+                            self.broadcast(
+                                to,
+                                AbdMessage::WriteBackReq {
+                                    rid,
+                                    seq: best_seq,
+                                    value: best_value,
+                                },
+                            );
+                            self.net.rearm_retry(to);
+                        } else {
+                            // FAULT (multi-writer flavor): respond without write-back.
+                            self.clients[to.0] = Client::Idle;
+                            self.net.cancel_retry(to);
+                            self.respond(op, Some(best_value));
+                        }
+                    }
+                }
+                _ => {}
+            },
+            AbdMessage::WriteBackReq { rid, seq, value } => {
+                if seq > self.replicas[to.0].0 {
+                    self.replicas[to.0] = (seq, value);
+                }
+                self.send(to, env.from, AbdMessage::WriteBackAck { rid });
+            }
+            AbdMessage::WriteBackAck { rid } => {
+                if let Client::WritingBack {
+                    op,
+                    rid: r,
+                    value,
+                    acks,
+                    ..
+                } = &mut self.clients[to.0]
+                {
+                    if *r == rid {
+                        acks.insert(env.from.0);
+                        if acks.len() >= majority {
+                            let (op, value) = (*op, *value);
+                            self.clients[to.0] = Client::Idle;
+                            self.net.cancel_retry(to);
+                            self.respond(op, Some(value));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-broadcasts the requests of `p`'s current protocol phase to the processes
+    /// that have not answered yet, and re-arms the backed-off retry timer.
+    fn retransmit(&mut self, p: ProcessId) {
+        if self.net.is_crashed(p) {
+            return;
+        }
+        let pending: Vec<(ProcessId, AbdMessage)> = match &self.clients[p.0] {
+            Client::Idle => Vec::new(),
+            Client::WriteQuery { rid, replies, .. } => {
+                let message = AbdMessage::ReadReq { rid: *rid };
+                (0..self.n)
+                    .filter(|to| !replies.contains_key(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+            Client::Writing {
+                seq, value, acks, ..
+            } => {
+                let message = AbdMessage::WriteReq {
+                    seq: *seq,
+                    value: *value,
+                };
+                (0..self.n)
+                    .filter(|to| !acks.contains(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+            Client::Reading { rid, replies, .. } => {
+                let message = AbdMessage::ReadReq { rid: *rid };
+                (0..self.n)
+                    .filter(|to| !replies.contains_key(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+            Client::WritingBack {
+                rid,
+                seq,
+                value,
+                acks,
+                ..
+            } => {
+                let message = AbdMessage::WriteBackReq {
+                    rid: *rid,
+                    seq: *seq,
+                    value: *value,
+                };
+                (0..self.n)
+                    .filter(|to| !acks.contains(to))
+                    .map(|to| (ProcessId(to), message.clone()))
+                    .collect()
+            }
+        };
+        if pending.is_empty() {
+            return;
+        }
+        self.net.count_retransmissions(pending.len() as u64);
+        for (to, message) in pending {
+            self.send(p, to, message);
+        }
+        self.net.rearm_retry(p);
+    }
+}
+
+impl MessageCluster for MwAbdCluster {
+    fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    fn deliver_slot(&mut self, slot: usize) {
+        MwAbdCluster::deliver(self, slot);
+    }
+
+    fn try_start_write(&mut self, value: i64) -> Option<OpId> {
+        self.try_start_write_by(ProcessId(0), value)
+    }
+
+    fn try_start_read(&mut self, p: ProcessId) -> Option<OpId> {
+        (p.0 < self.n && !self.net.is_crashed(p) && self.is_idle(p)).then(|| self.start_read(p))
+    }
+
+    fn try_start_write_by(&mut self, p: ProcessId, value: i64) -> Option<OpId> {
+        (p.0 < self.n && !self.net.is_crashed(p) && self.is_idle(p))
+            .then(|| self.start_write(p, value))
+    }
+
+    fn on_timer(&mut self, p: ProcessId) {
+        self.retransmit(p);
+    }
+
+    fn recover_process(&mut self, p: ProcessId) -> bool {
+        if !self.net.recover(p) {
+            return false;
+        }
+        self.clients[p.0] = Client::Idle;
+        true
+    }
+
+    fn history(&self) -> History<i64> {
+        History::from_operations(self.ops.clone())
+    }
+
+    fn operations(&self) -> &[Operation<i64>] {
+        &self.ops
+    }
+
+    fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// The *primary* writer: multi-writer schedules use explicit
+    /// [`crate::delivery::ClientEvent::StartWriteBy`] events; plain `write` events
+    /// fall back to process 0.
+    fn writer(&self) -> ProcessId {
+        ProcessId(0)
+    }
+
+    fn is_idle(&self, p: ProcessId) -> bool {
+        MwAbdCluster::is_idle(self, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlt_spec::Checker;
+
+    fn is_linearizable(h: &rlt_spec::History<i64>) -> bool {
+        Checker::new(0i64).check(h).is_linearizable()
+    }
+
+    #[test]
+    fn packed_seqs_totally_order_competing_writers() {
+        assert!(pack_seq(1, ProcessId(3)) > pack_seq(1, ProcessId(2)));
+        assert!(pack_seq(2, ProcessId(0)) > pack_seq(1, ProcessId(63)));
+        assert_eq!(seq_counter(pack_seq(9, ProcessId(5))), 9);
+    }
+
+    #[test]
+    fn sequential_multi_writer_use_is_linearizable() {
+        let mut c = MwAbdCluster::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for (p, v) in [(0usize, 10i64), (3, 20), (1, 30)] {
+            c.start_write(ProcessId(p), v);
+            c.run_to_quiescence(&mut rng, 10_000);
+        }
+        c.start_read(ProcessId(2));
+        c.run_to_quiescence(&mut rng, 10_000);
+        let h = c.history();
+        assert_eq!(h.reads().next().unwrap().read_value(), Some(&30));
+        assert!(is_linearizable(&h));
+    }
+
+    #[test]
+    fn concurrent_writers_stay_linearizable_across_seeds() {
+        for seed in 0..12u64 {
+            let mut c = MwAbdCluster::new(5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            c.start_write(ProcessId(1), 111);
+            c.start_write(ProcessId(4), 444);
+            for _ in 0..6 {
+                c.deliver_random(&mut rng);
+            }
+            c.start_read(ProcessId(2));
+            c.run_to_quiescence(&mut rng, 100_000);
+            c.start_read(ProcessId(3));
+            c.run_to_quiescence(&mut rng, 100_000);
+            let h = c.history();
+            assert!(is_linearizable(&h), "seed {seed}: {h}");
+        }
+    }
+
+    #[test]
+    fn write_back_free_flavor_admits_inversions() {
+        // Mirror of the single-writer negative control, built by hand: the write
+        // finishes its query phase, then its propagation reaches replica 1 only;
+        // a first read queries a majority containing replica 1 (sees the new
+        // value), a later read queries a majority excluding it (sees the old).
+        let mut c = MwAbdCluster::new(5).without_write_back();
+        c.start_write(ProcessId(0), 7);
+        // Query phase: all ReadReqs, then a majority of replies.
+        while let Some(slot) = c
+            .net
+            .queue()
+            .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReq { .. }))
+        {
+            c.deliver(slot);
+        }
+        for _ in 0..3 {
+            let slot = c
+                .net
+                .queue()
+                .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReply { .. }))
+                .expect("query reply");
+            c.deliver(slot);
+        }
+        // Propagation reaches replica 1 only; the write stays pending.
+        let slot = c
+            .net
+            .queue()
+            .oldest_matching(|e| {
+                matches!(e.message, AbdMessage::WriteReq { .. }) && e.to == ProcessId(1)
+            })
+            .expect("write propagation to replica 1");
+        c.deliver(slot);
+        // First read by p1 against {1, 2, 3}; no write-back, responds with 7.
+        c.start_read(ProcessId(1));
+        for _ in 0..3 {
+            let slot = c
+                .net
+                .queue()
+                .oldest_matching(|e| {
+                    matches!(e.message, AbdMessage::ReadReq { rid } if rid == 2)
+                        && (1..=3).contains(&e.to.0)
+                })
+                .expect("read-1 query");
+            c.deliver(slot);
+        }
+        while let Some(slot) = c
+            .net
+            .queue()
+            .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReply { rid, .. } if rid == 2))
+        {
+            c.deliver(slot);
+        }
+        // Second read by p2 against {2, 3, 4}; all stale, responds with 0.
+        c.start_read(ProcessId(2));
+        for _ in 0..3 {
+            let slot = c
+                .net
+                .queue()
+                .oldest_matching(|e| {
+                    matches!(e.message, AbdMessage::ReadReq { rid } if rid == 3)
+                        && (2..=4).contains(&e.to.0)
+                })
+                .expect("read-2 query");
+            c.deliver(slot);
+        }
+        while let Some(slot) = c
+            .net
+            .queue()
+            .oldest_matching(|e| matches!(e.message, AbdMessage::ReadReply { rid, .. } if rid == 3))
+        {
+            c.deliver(slot);
+        }
+        let h = MessageCluster::history(&c);
+        let values: Vec<i64> = h.reads().filter_map(|r| r.read_value().copied()).collect();
+        assert_eq!(values, vec![7, 0]);
+        assert!(!is_linearizable(&h), "inversion must be rejected: {h}");
+    }
+
+    #[test]
+    fn recorded_multi_writer_schedules_replay_bit_identically() {
+        use crate::adversary::UniformAdversary;
+        use crate::delivery::ScheduleRun;
+        let mut run = ScheduleRun::new(MwAbdCluster::new(5));
+        let mut adv = UniformAdversary::new(9);
+        run.start_write_by(ProcessId(2), 7);
+        run.start_write_by(ProcessId(4), 8);
+        for _ in 0..30 {
+            if !run.deliver_next(&mut adv) {
+                break;
+            }
+        }
+        run.start_read(ProcessId(1));
+        for _ in 0..30 {
+            if !run.deliver_next(&mut adv) {
+                break;
+            }
+        }
+        let history = run.history();
+        let schedule = run.into_schedule();
+        // Round-trips through text (the `write-by` verb) and replays identically.
+        let parsed: crate::delivery::Schedule = schedule.to_string().parse().unwrap();
+        assert_eq!(parsed, schedule);
+        let mut replay = MwAbdCluster::new(5);
+        parsed.replay_on(&mut replay);
+        assert_eq!(MessageCluster::history(&replay), history);
+    }
+}

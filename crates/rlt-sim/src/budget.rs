@@ -1,0 +1,113 @@
+//! Deterministic run budgets for bounded exploration loops.
+//!
+//! Fuzzing and hunt loops need a *wall budget* that is independent of real
+//! time: real clocks would make "how far did the run get" depend on the host,
+//! breaking bit-identical replay. [`Budget`] counts abstract cost units
+//! instead — delivered messages, [`crate::VirtualClock`] steps, replayed
+//! schedule steps, whatever the caller meters — and reports exhaustion as an
+//! explicit, checkable state. A dry budget is a *result* (the run is censored
+//! at a known cost), never a hang.
+
+/// A saturating, deterministic cost budget.
+///
+/// The unit is whatever the caller meters (deliveries, virtual-clock steps,
+/// checker calls). [`Budget::take`] either debits the full cost and returns
+/// `true`, or — when the remaining budget cannot cover it — marks the budget
+/// exhausted and returns `false` without partial debits, so accounting is
+/// exact and independent of how work was sharded before the charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    limit: u64,
+    used: u64,
+    exhausted: bool,
+}
+
+impl Budget {
+    /// A budget of `limit` cost units.
+    #[must_use]
+    pub fn new(limit: u64) -> Self {
+        Budget {
+            limit,
+            used: 0,
+            exhausted: false,
+        }
+    }
+
+    /// A budget that never runs dry (`u64::MAX` units).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::new(u64::MAX)
+    }
+
+    /// Attempts to debit `cost` units. Returns `true` and debits the full
+    /// amount when it fits; otherwise marks the budget exhausted and returns
+    /// `false`, leaving `used` untouched.
+    pub fn take(&mut self, cost: u64) -> bool {
+        if cost <= self.remaining() {
+            self.used += cost;
+            true
+        } else {
+            self.exhausted = true;
+            false
+        }
+    }
+
+    /// Units debited so far.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Units still available.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+
+    /// `true` once any [`Budget::take`] has been refused. Reports whether the
+    /// run was censored, not merely whether `remaining` is zero.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_debits_exactly_or_not_at_all() {
+        let mut b = Budget::new(10);
+        assert!(b.take(4));
+        assert!(b.take(6));
+        assert_eq!(b.used(), 10);
+        assert_eq!(b.remaining(), 0);
+        assert!(
+            !b.is_exhausted(),
+            "a fully spent budget is not yet censored"
+        );
+        assert!(!b.take(1));
+        assert!(b.is_exhausted());
+        assert_eq!(b.used(), 10, "refused take must not partially debit");
+    }
+
+    #[test]
+    fn oversized_take_refuses_without_debit() {
+        let mut b = Budget::new(5);
+        assert!(!b.take(6));
+        assert_eq!(b.used(), 0);
+        assert!(b.is_exhausted());
+        // A later affordable take still works: exhaustion records censoring,
+        // it does not poison the arithmetic.
+        assert!(b.take(5));
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_runs_dry() {
+        let mut b = Budget::unlimited();
+        assert!(b.take(u64::MAX - 1));
+        assert!(!b.is_exhausted());
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`Scheduler`] / [`StepProcess`] / [`Adversary`] — a cooperative step scheduler for
 //!   running process state machines under seeded-random or scripted schedules.
 //! * [`CoinSource`] — seeded, logged coin flips visible to strong adversaries.
+//! * [`Budget`] — a deterministic cost budget (deliveries, clock steps, …) so bounded
+//!   exploration loops censor cleanly instead of hanging or depending on wall time.
 //! * [`VirtualClock`] — the deterministic discrete-event clock (timer heap with
 //!   `(deadline, seq)` tie-breaking and constant-time fast-forward across idle
 //!   intervals) that both this scheduler and `rlt-mp`'s fault-injection layer run on.
@@ -44,11 +46,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
 pub mod clock;
 pub mod coin;
 pub mod mem;
 pub mod sched;
 
+pub use budget::Budget;
 pub use clock::{TimerId, VirtualClock};
 pub use coin::{CoinSource, FlipRecord};
 pub use mem::{

@@ -457,6 +457,39 @@ impl StateSketch {
         }
     }
 
+    /// Read-only view of the raw HLL registers.
+    ///
+    /// This is the stable coverage-fingerprint hook: consumers that treat the
+    /// sketch as an AFL-style coverage map (the schedule fuzzer in `rlt-mp`)
+    /// compare registers directly instead of going through the cardinality
+    /// estimate, so "novel coverage" stays exact, deterministic, and
+    /// independent of the estimator constants.
+    #[must_use]
+    pub fn registers(&self) -> &[u8; HLL_REGISTERS] {
+        &self.regs
+    }
+
+    /// `true` when every register of `other` is already dominated by this
+    /// sketch — merging `other` in would change nothing.
+    #[must_use]
+    pub fn covers(&self, other: &StateSketch) -> bool {
+        self.regs.iter().zip(other.regs.iter()).all(|(a, b)| a >= b)
+    }
+
+    /// Merges `other` and reports whether the merge raised any register.
+    ///
+    /// This is the coverage-guided fuzzing primitive: a replay whose sketch
+    /// raises a register has visited a memoized search configuration whose
+    /// fingerprint class no earlier corpus entry produced. Because merge is an
+    /// element-wise max, the result is independent of merge order, so
+    /// per-worker shards folded at a generation barrier report the same set of
+    /// novel entries as a sequential pass.
+    pub fn merge_novel(&mut self, other: &StateSketch) -> bool {
+        let novel = !self.covers(other);
+        self.merge(other);
+        novel
+    }
+
     /// `true` when nothing has been observed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -2358,6 +2391,35 @@ mod tests {
 
     const R0: RegisterId = RegisterId(0);
     const R1: RegisterId = RegisterId(1);
+
+    #[test]
+    fn sketch_registers_covers_and_merge_novel_agree() {
+        let mut a = StateSketch::default();
+        let mut b = StateSketch::default();
+        for h in 0..64u64 {
+            a.observe(h.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        b.observe(0xDEAD_BEEF_CAFE_F00D);
+        // A fresh sketch never covers a non-empty one.
+        assert!(!StateSketch::default().covers(&b));
+        // covers is reflexive, and merge_novel reports exactly !covers.
+        assert!(a.covers(&a));
+        let covered = a.covers(&b);
+        let mut merged = a;
+        assert_eq!(merged.merge_novel(&b), !covered);
+        // After merging, b is covered and a second merge is never novel.
+        assert!(merged.covers(&b));
+        assert!(!merged.merge_novel(&b));
+        // registers() exposes exactly the merge state: element-wise max.
+        for ((m, x), y) in merged
+            .registers()
+            .iter()
+            .zip(a.registers())
+            .zip(b.registers())
+        {
+            assert_eq!(*m, (*x).max(*y));
+        }
+    }
 
     #[test]
     fn interning_assigns_dense_ids() {

@@ -326,6 +326,7 @@ mod schedule_grammar {
     fn arb_event() -> impl Strategy<Value = ClientEvent> {
         prop_oneof![
             any::<i64>().prop_map(ClientEvent::StartWrite),
+            (0usize..9, any::<i64>()).prop_map(|(p, v)| ClientEvent::StartWriteBy(ProcessId(p), v)),
             (0usize..9).prop_map(|p| ClientEvent::StartRead(ProcessId(p))),
             (0usize..9).prop_map(|p| ClientEvent::Crash(ProcessId(p))),
             (0usize..9).prop_map(|p| ClientEvent::Recover(ProcessId(p))),
@@ -345,20 +346,37 @@ mod schedule_grammar {
         ]
     }
 
+    /// The parser rejects a `Heal` whose partition id was never declared, so the
+    /// raw step soup is repaired the same way the fuzzer repairs its mutants:
+    /// orphan heals are dropped, everything else survives verbatim.
+    fn repair(steps: &[ScheduleStep]) -> Vec<ScheduleStep> {
+        let mut steps = steps.to_vec();
+        let mut declared: Vec<u32> = Vec::new();
+        steps.retain(|step| match step {
+            ScheduleStep::Partition { id, .. } => {
+                declared.push(*id);
+                true
+            }
+            ScheduleStep::Heal(id) => declared.contains(id),
+            _ => true,
+        });
+        steps
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
         #[test]
-        fn schedule_display_parse_round_trips(steps in prop::collection::vec(arb_step(), 0..40)) {
-            let schedule = Schedule { steps: steps.clone() };
+        fn schedule_display_parse_round_trips(raw in prop::collection::vec(arb_step(), 0..40)) {
+            let schedule = Schedule { steps: repair(&raw) };
             let text = schedule.to_string();
             let parsed: Schedule = text.parse().expect("rendered schedule must parse");
             prop_assert_eq!(parsed, schedule);
         }
 
         #[test]
-        fn parsing_ignores_blank_and_comment_lines(steps in prop::collection::vec(arb_step(), 1..20)) {
-            let schedule = Schedule { steps: steps.clone() };
+        fn parsing_ignores_blank_and_comment_lines(raw in prop::collection::vec(arb_step(), 1..20)) {
+            let schedule = Schedule { steps: repair(&raw) };
             let mut decorated = String::from("# header comment\n\n");
             for line in schedule.to_string().lines() {
                 decorated.push_str(line);
@@ -366,6 +384,43 @@ mod schedule_grammar {
             }
             let parsed: Schedule = decorated.parse().expect("decorated schedule must parse");
             prop_assert_eq!(parsed, schedule);
+        }
+
+        #[test]
+        fn parsing_tolerates_sloppy_whitespace(
+            raw in prop::collection::vec(arb_step(), 1..20),
+            pad in 1usize..4,
+        ) {
+            let schedule = Schedule { steps: repair(&raw) };
+            // Double every inner space, then pad both line ends: the grammar
+            // normalizes runs of whitespace, so the step soup must survive.
+            let sloppy: String = schedule
+                .to_string()
+                .lines()
+                .map(|line| {
+                    let stretched = line.replace(' ', &" ".repeat(pad + 1));
+                    format!("{}{}{}\n", " ".repeat(pad), stretched, "\t".repeat(pad))
+                })
+                .collect();
+            let parsed: Schedule = sloppy.parse().expect("sloppy whitespace must parse");
+            prop_assert_eq!(parsed, schedule);
+        }
+
+        #[test]
+        fn unknown_heal_errors_name_their_line(heal_line in 0usize..10, id in 0u32..64) {
+            // `advance` filler with one orphan heal: the error must carry the
+            // 1-based line number of the heal, not of some later step.
+            let mut text = String::new();
+            for i in 0..10 {
+                if i == heal_line {
+                    text.push_str(&format!("heal {id}\n"));
+                } else {
+                    text.push_str("advance\n");
+                }
+            }
+            let err = text.parse::<Schedule>().expect_err("orphan heal must not parse");
+            prop_assert_eq!(err.line, heal_line + 1);
+            prop_assert!(err.message.contains("unknown partition"), "got: {}", err.message);
         }
 
         #[test]
@@ -380,6 +435,42 @@ mod schedule_grammar {
             }
             let err = text.parse::<Schedule>().expect_err("gibberish must not parse");
             prop_assert_eq!(err.line, garbage_line + 1);
+        }
+
+        #[test]
+        fn mutated_schedules_round_trip_and_replay_deterministically(
+            record_seed in 0u64..1_000,
+            mutate_seed in 0u64..1_000,
+            rounds in 1usize..6,
+        ) {
+            // Satellite of the fuzzer: not just *recorded* schedules round-trip —
+            // every reachable mutant does too, and replays bit-identically.
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            use rlt_core::mp::fuzz::{mutate_schedule, record_clean_corpus};
+            use rlt_core::mp::FaultyAbdCluster;
+
+            let seeds = record_clean_corpus(
+                || FaultyAbdCluster::new(5, ProcessId(0)),
+                2,
+                40,
+                record_seed,
+                false,
+            );
+            let mut rng = StdRng::seed_from_u64(mutate_seed);
+            let mut mutant = seeds[0].clone();
+            for _ in 0..rounds {
+                mutant = mutate_schedule(&mutant, &seeds[1], 200, &mut rng);
+            }
+            let text = mutant.to_string();
+            let parsed: Schedule = text.parse().expect("mutant must parse");
+            prop_assert_eq!(&parsed, &mutant);
+            let mut a = FaultyAbdCluster::new(5, ProcessId(0));
+            let mut b = FaultyAbdCluster::new(5, ProcessId(0));
+            let da = mutant.replay_on(&mut a);
+            let db = parsed.replay_on(&mut b);
+            prop_assert_eq!(da, db);
+            prop_assert_eq!(a.history(), b.history());
         }
     }
 }
