@@ -287,6 +287,11 @@ pub const FUZZ_SEEDS: u64 = 50;
 /// Scenario seeds the rediscovery row must succeed on (of [`FUZZ_SEEDS`]).
 pub const FUZZ_FOUND_FLOOR: u64 = 45;
 
+/// The E17 rediscovery median (budget units to first trophy over
+/// [`FUZZ_SEEDS`] seeds), recorded before static triage existed. The E18 row
+/// asserts the triaged median never regresses past this.
+pub const E17_MEDIAN_BUDGET: u64 = 5073;
+
 struct FuzzRows {
     found: u64,
     median_budget: u64,
@@ -297,12 +302,17 @@ struct FuzzRows {
     coverage_units: u64,
     coverage_budget: u64,
     coverage_per_1000: u64,
+    statically_rejected: u64,
+    statically_canonicalized: u64,
+    mutants_executed: u64,
 }
 
-/// The E17 rows: coverage-guided rediscovery of the faulty cluster's new/old
-/// inversion from clean recorded schedules only (no targeted adversary), and the
-/// coverage yield of a fixed no-early-stop run. All numbers are deterministic
-/// per seed, so these double as CI regression gates.
+/// The E17/E18 rows: coverage-guided rediscovery of the faulty cluster's
+/// new/old inversion from clean recorded schedules only (no targeted
+/// adversary), the coverage yield of a fixed no-early-stop run, and the static
+/// triage tallies (E18: mutants rejected or canonicalized before replay, and
+/// the budget saved against the pre-triage [`E17_MEDIAN_BUDGET`]). All numbers
+/// are deterministic per seed, so these double as CI regression gates.
 fn fuzz_rows() -> FuzzRows {
     use rlt_mp::fuzz::{fuzz_faulty_rediscovery, FuzzConfig};
     let config = FuzzConfig::default();
@@ -310,8 +320,14 @@ fn fuzz_rows() -> FuzzRows {
     let mut found = 0u64;
     let mut max_min_deliveries = 0usize;
     let mut all_verified = true;
+    let mut statically_rejected = 0u64;
+    let mut statically_canonicalized = 0u64;
+    let mut mutants_executed = 0u64;
     for seed in 0..FUZZ_SEEDS {
         let report = fuzz_faulty_rediscovery(seed, &config);
+        statically_rejected += report.statically_rejected;
+        statically_canonicalized += report.statically_canonicalized;
+        mutants_executed += report.mutants_executed;
         if let Some(trophy) = report.trophies.first() {
             found += 1;
             budgets.push(
@@ -339,6 +355,19 @@ fn fuzz_rows() -> FuzzRows {
         "a ddmin'd trophy kept {max_min_deliveries} deliveries"
     );
     budgets.sort_unstable();
+    // E18: static triage must pay for itself — the triaged rediscovery median
+    // can only be at or below the pre-triage E17 median, and the triage must
+    // actually fire (otherwise the counters are dead weight).
+    assert!(
+        budgets[budgets.len() / 2] <= E17_MEDIAN_BUDGET,
+        "triaged rediscovery median {} regressed past the E17 baseline {}",
+        budgets[budgets.len() / 2],
+        E17_MEDIAN_BUDGET
+    );
+    assert!(
+        statically_rejected > 0,
+        "static triage rejected nothing across {FUZZ_SEEDS} seeds"
+    );
     // Coverage yield: one fixed-seed run with early stopping off, so the corpus
     // keeps breeding for the whole budget.
     let coverage_config = FuzzConfig {
@@ -361,6 +390,9 @@ fn fuzz_rows() -> FuzzRows {
         coverage_units: coverage_report.coverage_units,
         coverage_budget: coverage_report.budget_used,
         coverage_per_1000,
+        statically_rejected,
+        statically_canonicalized,
+        mutants_executed,
     }
 }
 
@@ -429,8 +461,8 @@ pub fn write_abd_json(out_path: &str) {
     let lossy = faulty_lossy_row(&checker);
     let hunt_loop = hunt_loop_row(&checker);
     let minimize = minimize_row(&checker);
-    // E17: the untargeted coverage-guided fuzzer, measured against the same
-    // inversion the E13 targeted adversaries hunt.
+    // E17/E18: the untargeted coverage-guided fuzzer (now statically triaged),
+    // measured against the same inversion the E13 targeted adversaries hunt.
     let fuzz = fuzz_rows();
 
     let mut json = String::from("{\n  \"experiment\": \"E3-abd-cost\",\n  \"rows\": [\n");
@@ -568,9 +600,25 @@ pub fn write_abd_json(out_path: &str) {
         "{:>20}: {} coverage units over {} budget units = {} per 1000 deliveries",
         "fuzz_coverage", fuzz.coverage_units, fuzz.coverage_budget, fuzz.coverage_per_1000
     );
+    let triaged_total = fuzz.mutants_executed + fuzz.statically_rejected;
+    let reject_per_1000 = fuzz.statically_rejected * 1_000 / triaged_total.max(1);
+    let budget_saved_percent =
+        (E17_MEDIAN_BUDGET.saturating_sub(fuzz.median_budget)) * 100 / E17_MEDIAN_BUDGET;
+    eprintln!(
+        "{:>20}: rejected {} / canonicalized {} of {} mutants ({} per 1000), \
+         median {} vs E17 baseline {} (-{}%)",
+        "fuzz_triage",
+        fuzz.statically_rejected,
+        fuzz.statically_canonicalized,
+        triaged_total,
+        reject_per_1000,
+        fuzz.median_budget,
+        E17_MEDIAN_BUDGET,
+        budget_saved_percent
+    );
     let _ = writeln!(
         json,
-        "  \"fuzz_experiment\": \"E17-coverage-guided-schedule-fuzzing\",\n  \
+        "  \"fuzz_experiment\": \"E17-coverage-guided-schedule-fuzzing+E18-static-triage\",\n  \
          \"fuzz_workload\": {{\"cluster\": \"faulty_abd\", \"processes\": {HUNT_PROCESSES}, \
          \"seeds\": {FUZZ_SEEDS}, \"corpus\": \"clean recorded schedules only\"}},\n  \
          \"fuzz_rows\": [\n    \
@@ -578,7 +626,11 @@ pub fn write_abd_json(out_path: &str) {
          \"min_budget\": {}, \"max_budget\": {}, \"max_min_deliveries\": {}, \
          \"all_verified\": {}}},\n    \
          {{\"row\": \"coverage_per_1000_deliveries\", \"coverage_units\": {}, \
-         \"budget_used\": {}, \"value\": {}}}\n  ]",
+         \"budget_used\": {}, \"value\": {}}},\n    \
+         {{\"row\": \"static_triage\", \"statically_rejected\": {}, \
+         \"statically_canonicalized\": {}, \"mutants_executed\": {}, \
+         \"rejected_per_1000\": {}, \"median_budget\": {}, \
+         \"e17_median_budget\": {}, \"budget_saved_percent\": {}}}\n  ]",
         fuzz.found,
         fuzz.median_budget,
         fuzz.min_budget,
@@ -587,7 +639,14 @@ pub fn write_abd_json(out_path: &str) {
         fuzz.all_verified,
         fuzz.coverage_units,
         fuzz.coverage_budget,
-        fuzz.coverage_per_1000
+        fuzz.coverage_per_1000,
+        fuzz.statically_rejected,
+        fuzz.statically_canonicalized,
+        fuzz.mutants_executed,
+        reject_per_1000,
+        fuzz.median_budget,
+        E17_MEDIAN_BUDGET,
+        budget_saved_percent
     );
     json.push_str("}\n");
     std::fs::write(out_path, &json).expect("write ABD summary JSON");

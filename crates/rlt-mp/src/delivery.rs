@@ -517,19 +517,27 @@ impl FromStr for ScheduleStep {
     }
 }
 
-/// A parse failure of the textual [`Schedule`] form: the offending (1-based) line and
-/// what was wrong with it.
+/// A parse failure of the textual [`Schedule`] form: the offending (1-based) line,
+/// its text, and what was wrong with it. Every step-parse failure carries all
+/// three — not just the unknown-`heal` check — so a bad line in a long mutated
+/// schedule is locatable without counting lines by hand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleParseError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// The offending line's text (trimmed).
+    pub snippet: String,
     /// What was wrong.
     pub message: String,
 }
 
 impl fmt::Display for ScheduleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "schedule line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "schedule line {}: {} (in `{}`)",
+            self.line, self.message, self.snippet
+        )
     }
 }
 
@@ -584,40 +592,53 @@ impl Schedule {
     /// Like deliveries, they are skipped when inapplicable (key not in flight,
     /// partition id unknown, no deadline to advance to), keeping replay total.
     pub fn replay_on<C: MessageCluster>(&self, cluster: &mut C) -> u64 {
+        self.replay_trace_on(cluster).delivered
+    }
+
+    /// Like [`Schedule::replay_on`], but also records *per step* whether it fired
+    /// or was skipped — the ground truth the static analyzer
+    /// ([`crate::analyze`](mod@crate::analyze)) is pinned against: a step the analyzer calls dead
+    /// must come back `fired[i] == false` here.
+    ///
+    /// A skipped step has no effect on the cluster whatsoever, so replaying a
+    /// schedule with its skipped steps removed is bit-identical to replaying the
+    /// original.
+    pub fn replay_trace_on<C: MessageCluster>(&self, cluster: &mut C) -> ReplayTrace {
         let mut delivered = 0;
+        let mut fired = Vec::with_capacity(self.steps.len());
         for step in &self.steps {
-            match step {
-                ScheduleStep::Event(event) => {
-                    let _ = cluster.apply_event(*event);
-                }
-                ScheduleStep::Deliver(key) => {
-                    if let Some(slot) = cluster.queue().find_key(*key) {
+            let took_effect = match step {
+                ScheduleStep::Event(event) => cluster.apply_event(*event),
+                ScheduleStep::Deliver(key) => match cluster.queue().find_key(*key) {
+                    Some(slot) => {
                         cluster.deliver_slot(slot);
                         delivered += 1;
+                        true
                     }
-                }
-                ScheduleStep::Drop(key) => {
-                    let _ = cluster.drop_by_key(*key);
-                }
-                ScheduleStep::Duplicate(key) => {
-                    let _ = cluster.duplicate_by_key(*key);
-                }
-                ScheduleStep::Delay(key, ticks) => {
-                    let _ = cluster.delay_by_key(*key, *ticks);
-                }
+                    None => false,
+                },
+                ScheduleStep::Drop(key) => cluster.drop_by_key(*key),
+                ScheduleStep::Duplicate(key) => cluster.duplicate_by_key(*key),
+                ScheduleStep::Delay(key, ticks) => cluster.delay_by_key(*key, *ticks),
                 ScheduleStep::Partition { id, side } => {
-                    let _ = cluster.install_partition(Partition::from_parts(*id, *side));
+                    cluster.install_partition(Partition::from_parts(*id, *side))
                 }
-                ScheduleStep::Heal(id) => {
-                    let _ = cluster.heal_partition(*id);
-                }
-                ScheduleStep::Advance => {
-                    let _ = cluster.advance_time();
-                }
-            }
+                ScheduleStep::Heal(id) => cluster.heal_partition(*id),
+                ScheduleStep::Advance => cluster.advance_time(),
+            };
+            fired.push(took_effect);
         }
-        delivered
+        ReplayTrace { fired, delivered }
     }
+}
+
+/// What [`Schedule::replay_trace_on`] saw: which steps fired, and the delivery count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayTrace {
+    /// `fired[i]` ⇔ step `i` took effect (was not skipped).
+    pub fired: Vec<bool>,
+    /// Number of `Deliver` steps that fired — what [`Schedule::replay_on`] returns.
+    pub delivered: u64,
 }
 
 impl fmt::Display for Schedule {
@@ -650,6 +671,7 @@ impl FromStr for Schedule {
             }
             let step: ScheduleStep = line.parse().map_err(|message| ScheduleParseError {
                 line: idx + 1,
+                snippet: line.to_string(),
                 message,
             })?;
             match step {
@@ -659,6 +681,7 @@ impl FromStr for Schedule {
                 ScheduleStep::Heal(id) if !declared.contains(&id) => {
                     return Err(ScheduleParseError {
                         line: idx + 1,
+                        snippet: line.to_string(),
                         message: format!("heal references unknown partition id {id}"),
                     });
                 }
@@ -1170,6 +1193,68 @@ mod tests {
         q.retain(|e| e.from != ProcessId(1));
         assert_eq!(q.len(), 3);
         assert!(q.iter().all(|(_, e)| e.from == ProcessId(0)));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers_and_snippets() {
+        // One row per failure shape of the grammar: (input, offending line,
+        // message fragment). Every error must name the 1-based line and carry
+        // the offending line's text.
+        let cases: &[(&str, usize, &str)] = &[
+            ("write", 1, "bad value ``"),
+            ("frobnicate 3", 1, "unknown step verb `frobnicate`"),
+            ("write 1\nread x", 2, "bad process `x`"),
+            ("crash q", 1, "bad process `q`"),
+            ("recover -2", 1, "bad process `-2`"),
+            ("deliver 0->1", 1, "missing its message kind"),
+            ("deliver 0-1 write-req#1", 1, "missing `->`"),
+            ("deliver x->1 write-req#1", 1, "bad sender in `x->1`"),
+            ("deliver 0->y write-req#1", 1, "bad destination in `0->y`"),
+            ("deliver 0->1 write-req", 1, "missing `#<id>`"),
+            (
+                "deliver 0->1 write-req#z",
+                1,
+                "bad message id in `write-req#z`",
+            ),
+            ("deliver 0->1 frob#1", 1, "unknown message kind `frob`"),
+            ("write-by 3", 1, "needs `<process> <value>`"),
+            ("write-by x 3", 1, "bad process `x`"),
+            ("delay 0->1 write-req#1", 1, "missing ` +<ticks>`"),
+            ("delay 0->1 write-req#1 +x", 1, "bad tick count `x`"),
+            ("partition 7", 1, "needs `<id> <side>`"),
+            ("partition x 3", 1, "bad partition id `x`"),
+            ("partition 7 q", 1, "bad side mask `q`"),
+            ("heal x", 1, "bad partition id `x`"),
+            (
+                "# comment\n\nheal 9",
+                3,
+                "heal references unknown partition id 9",
+            ),
+            ("advance now", 1, "advance takes no arguments, got `now`"),
+            (
+                "write 1\nwrite 2\ndup 0->1 nope#4",
+                3,
+                "unknown message kind `nope`",
+            ),
+        ];
+        for (text, line, fragment) in cases {
+            let err = text.parse::<Schedule>().unwrap_err();
+            assert_eq!(err.line, *line, "line number for {text:?}");
+            assert!(
+                err.message.contains(fragment),
+                "message {:?} for {text:?} should contain {fragment:?}",
+                err.message
+            );
+            // The snippet is the offending (trimmed) line, and Display carries
+            // line number, message, and snippet together.
+            assert_eq!(err.snippet, text.lines().nth(line - 1).unwrap().trim());
+            let shown = err.to_string();
+            assert!(
+                shown.contains(&format!("schedule line {line}: ")),
+                "{shown}"
+            );
+            assert!(shown.contains(&err.snippet), "{shown}");
+        }
     }
 
     #[test]

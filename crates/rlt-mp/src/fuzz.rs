@@ -33,6 +33,7 @@
 //! multi-writer stretch target [`crate::MwAbdCluster`].
 
 use crate::adversary::UniformAdversary;
+use crate::analyze::{analyze, canonicalize, scrub, ClusterModel};
 use crate::delivery::{
     ClientEvent, EnvelopeKey, MessageCluster, MessageKind, Schedule, ScheduleRun, ScheduleStep,
 };
@@ -115,6 +116,29 @@ pub struct Inspection {
     pub censored_check: bool,
 }
 
+/// How the fuzzer statically triages mutants before spending replays on them
+/// (see [`crate::analyze`](mod@crate::analyze)).
+///
+/// Triage computes a *key* per mutant; a mutant whose key was already seen is
+/// rejected without a replay, because an earlier schedule with the same key is
+/// guaranteed to replay identically *and* carry identical shape digests — so
+/// the duplicate could never contribute novel coverage or a new first trophy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriagePolicy {
+    /// No triage: every mutant replays.
+    Off,
+    /// Reject only byte-identical resends of already-triaged schedule text.
+    /// Sound for *any* target, including ones whose verdict depends on the
+    /// schedule's step structure (e.g. [`StrongFamilyTarget`]'s cut point).
+    RawIdentity,
+    /// Scrub dead steps and canonicalize commuting request deliveries against
+    /// a [`ClusterModel`] before comparing, so statically-doomed steps and
+    /// step-permutations within a commutative class collapse onto one key.
+    /// Only valid when the target's verdict is a function of the replayed
+    /// *history* alone (true of [`LinearizabilityTarget`]).
+    Analyze(ClusterModel),
+}
+
 /// A fuzzing target: how to build a fresh cluster, judge a replay, and shrink a
 /// trophy. `Sync` because inspections run concurrently across the pool.
 pub trait FuzzTarget: Sync {
@@ -129,6 +153,11 @@ pub trait FuzzTarget: Sync {
     /// ddmin-minimizes a violating schedule (the predicate is the target's own
     /// violation property).
     fn minimize(&self, schedule: &Schedule, seed: u64) -> MinimizeReport;
+    /// Static triage policy. The default, [`TriagePolicy::RawIdentity`], is
+    /// sound for any target.
+    fn triage(&self) -> TriagePolicy {
+        TriagePolicy::RawIdentity
+    }
 }
 
 /// A per-check sequential checker: fuzz histories are small, so fork-join
@@ -148,6 +177,7 @@ fn seq_checker() -> Checker<i64> {
 pub struct LinearizabilityTarget<F> {
     name: String,
     make: F,
+    model: Option<ClusterModel>,
 }
 
 impl<F> LinearizabilityTarget<F> {
@@ -156,7 +186,17 @@ impl<F> LinearizabilityTarget<F> {
         LinearizabilityTarget {
             name: name.into(),
             make,
+            model: None,
         }
+    }
+
+    /// Enables [`TriagePolicy::Analyze`] triage against `model`. Valid because
+    /// this target's verdict ([`FuzzTarget::inspect`]) is a function of the
+    /// replayed history alone, never of the schedule's step structure.
+    #[must_use]
+    pub fn with_model(mut self, model: ClusterModel) -> Self {
+        self.model = Some(model);
+        self
     }
 }
 
@@ -188,12 +228,28 @@ where
 
     fn minimize(&self, schedule: &Schedule, seed: u64) -> MinimizeReport {
         let checker = seq_checker();
-        minimize_schedule(
-            || (self.make)(),
-            schedule,
-            |h| matches!(checker.check(h).outcome(), Ok(false)),
-            seed,
-        )
+        match &self.model {
+            Some(model) => crate::minimize::minimize_schedule_with_model(
+                || (self.make)(),
+                schedule,
+                |h| matches!(checker.check(h).outcome(), Ok(false)),
+                seed,
+                model,
+            ),
+            None => minimize_schedule(
+                || (self.make)(),
+                schedule,
+                |h| matches!(checker.check(h).outcome(), Ok(false)),
+                seed,
+            ),
+        }
+    }
+
+    fn triage(&self) -> TriagePolicy {
+        match &self.model {
+            Some(model) => TriagePolicy::Analyze(model.clone()),
+            None => TriagePolicy::RawIdentity,
+        }
     }
 }
 
@@ -737,6 +793,14 @@ pub struct FuzzReport {
     pub first_trophy_budget: Option<u64>,
     /// Confirmed trophies, deduplicated by minimized text.
     pub trophies: Vec<Trophy>,
+    /// Mutants (and seed duplicates) rejected by static triage before costing
+    /// a replay: their [`TriagePolicy`] key matched an earlier schedule, so
+    /// they could not have contributed novel coverage or a new first trophy.
+    pub statically_rejected: u64,
+    /// Triaged schedules whose scrubbed + canonicalized form differs from
+    /// their raw text (counted when the key is computed, rejected ones
+    /// included) — the analyzer's hit-rate numerator.
+    pub statically_canonicalized: u64,
     /// Count of write-strong family refusals (soundness alarms; must stay 0).
     pub write_strong_refutations: u64,
     /// Count of censored checks (work caps hit inside inspections).
@@ -771,6 +835,32 @@ struct ReplayOutcome {
     fault_log: FaultLog,
 }
 
+/// Computes a mutant's triage key (and whether canonicalization changed its
+/// text). `None` means the policy is [`TriagePolicy::Off`]: never reject.
+///
+/// For [`TriagePolicy::Analyze`] the key is the scrubbed + canonicalized
+/// schedule text joined with the *raw* schedule's [`shape_digests`]: equal keys
+/// guarantee both a bit-identical replay (so sketch, violation, and fault log
+/// match an earlier run) *and* identical shape digests (dead steps still count
+/// toward the shape signal), which together are exactly what `absorb` consumes.
+fn triage_key(schedule: &Schedule, policy: &TriagePolicy) -> Option<(String, bool)> {
+    match policy {
+        TriagePolicy::Off => None,
+        TriagePolicy::RawIdentity => Some((schedule.to_string(), false)),
+        TriagePolicy::Analyze(model) => {
+            let analysis = analyze(schedule, model);
+            let canonical = canonicalize(&scrub(schedule, &analysis));
+            let changed = canonical != *schedule;
+            let mut key = canonical.to_string();
+            key.push('\u{1}');
+            for digest in shape_digests(schedule) {
+                key.push_str(&format!("{digest:x},"));
+            }
+            Some((key, changed))
+        }
+    }
+}
+
 fn run_schedule<T: FuzzTarget>(target: &T, schedule: Schedule) -> ReplayOutcome {
     let mut cluster = target.fresh();
     let delivered = schedule.replay_on(&mut cluster);
@@ -802,6 +892,8 @@ pub fn fuzz<T: FuzzTarget>(target: &T, seeds: &[Schedule], config: &FuzzConfig) 
         first_trophy_generation: None,
         first_trophy_budget: None,
         trophies: Vec::new(),
+        statically_rejected: 0,
+        statically_canonicalized: 0,
         write_strong_refutations: 0,
         censored_checks: 0,
         censored: false,
@@ -811,6 +903,31 @@ pub fn fuzz<T: FuzzTarget>(target: &T, seeds: &[Schedule], config: &FuzzConfig) 
     let mut shapes: BTreeSet<u64> = BTreeSet::new();
     let mut sketch = StateSketch::default();
     let mut trophy_keys: BTreeSet<String> = BTreeSet::new();
+    let policy = target.triage();
+    // Triage keys of every schedule accepted for replay so far. Updated
+    // sequentially in task order (seeds first), so rejection decisions — and
+    // with them every counter — are bit-identical at any pool width.
+    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
+    // Sequential triage gate: `Some(schedule)` survives to replay, `None` was
+    // rejected (its key matched an earlier schedule) and is never charged.
+    let gate = |schedule: Schedule,
+                key: Option<(String, bool)>,
+                report: &mut FuzzReport,
+                seen_keys: &mut BTreeSet<String>|
+     -> Option<Schedule> {
+        let Some((key, changed)) = key else {
+            return Some(schedule);
+        };
+        if changed {
+            report.statically_canonicalized += 1;
+        }
+        if seen_keys.insert(key) {
+            Some(schedule)
+        } else {
+            report.statically_rejected += 1;
+            None
+        }
+    };
 
     // One merge point for both the seed pass (generation 0) and every breeding
     // generation: charge the budget, fold coverage, confirm trophies — strictly
@@ -892,10 +1009,17 @@ pub fn fuzz<T: FuzzTarget>(target: &T, seeds: &[Schedule], config: &FuzzConfig) 
         true
     };
 
-    // Generation 0: replay the seed corpus itself.
-    let seed_outcomes = rayon::par_map(&seeds.iter().collect::<Vec<_>>(), |s| {
-        run_schedule(target, (*s).clone())
+    // Generation 0: replay the seed corpus itself (triaged like any mutant, so
+    // duplicate seed recordings are rejected up front).
+    let seed_keys = rayon::par_map(&seeds.iter().collect::<Vec<_>>(), |s| {
+        triage_key(s, &policy)
     });
+    let survivors: Vec<Schedule> = seeds
+        .iter()
+        .zip(seed_keys)
+        .filter_map(|(s, key)| gate(s.clone(), key, &mut report, &mut seen_keys))
+        .collect();
+    let seed_outcomes = rayon::par_map(&survivors, |s| run_schedule(target, s.clone()));
     for outcome in seed_outcomes {
         if !absorb(
             outcome,
@@ -937,7 +1061,12 @@ pub fn fuzz<T: FuzzTarget>(target: &T, seeds: &[Schedule], config: &FuzzConfig) 
                 })
             })
             .collect();
-        let outcomes = rayon::par_map(&tasks, |&(pid, donor, task_seed)| {
+        // Phase 1 (parallel, pure): breed each mutant and compute its triage
+        // key. Phase 2 (sequential, task order): the gate rejects mutants whose
+        // key matched an earlier schedule — they are never replayed or charged.
+        // Phase 3 (parallel): replay the survivors. Phase 4 (sequential, task
+        // order): absorb, exactly as before.
+        let bred = rayon::par_map(&tasks, |&(pid, donor, task_seed)| {
             let mut rng = StdRng::seed_from_u64(task_seed);
             let mutant = mutate_schedule(
                 &corpus[pid].schedule,
@@ -945,9 +1074,18 @@ pub fn fuzz<T: FuzzTarget>(target: &T, seeds: &[Schedule], config: &FuzzConfig) 
                 config.max_steps,
                 &mut rng,
             );
-            run_schedule(target, mutant)
+            let key = triage_key(&mutant, &policy);
+            (mutant, key)
+        });
+        let survivors: Vec<Option<Schedule>> = bred
+            .into_iter()
+            .map(|(mutant, key)| gate(mutant, key, &mut report, &mut seen_keys))
+            .collect();
+        let outcomes = rayon::par_map(&survivors, |slot| {
+            slot.as_ref().map(|s| run_schedule(target, s.clone()))
         });
         for (ti, outcome) in outcomes.into_iter().enumerate() {
+            let Some(outcome) = outcome else { continue };
             let parent = tasks[ti].0;
             if !absorb(
                 outcome,
@@ -1058,7 +1196,8 @@ fn fresh_mw_faulty() -> MwAbdCluster {
 #[must_use]
 pub fn fuzz_faulty_rediscovery(scenario_seed: u64, config: &FuzzConfig) -> FuzzReport {
     let seeds = record_clean_corpus(fresh_faulty, 3, 60, mix64(scenario_seed ^ 0x5EED), false);
-    let target = LinearizabilityTarget::new("faulty-abd", fresh_faulty as fn() -> FaultyAbdCluster);
+    let target = LinearizabilityTarget::new("faulty-abd", fresh_faulty as fn() -> FaultyAbdCluster)
+        .with_model(ClusterModel::single_writer(5, ProcessId(0)).without_write_backs());
     let config = FuzzConfig {
         seed: scenario_seed,
         ..config.clone()
@@ -1089,7 +1228,8 @@ pub fn fuzz_strong_distinctions(scenario_seed: u64, config: &FuzzConfig) -> Fuzz
 pub fn fuzz_mw_rediscovery(scenario_seed: u64, config: &FuzzConfig) -> FuzzReport {
     let seeds = record_clean_corpus(fresh_mw_faulty, 3, 160, mix64(scenario_seed ^ 0x3700), true);
     let target =
-        LinearizabilityTarget::new("faulty-mw-abd", fresh_mw_faulty as fn() -> MwAbdCluster);
+        LinearizabilityTarget::new("faulty-mw-abd", fresh_mw_faulty as fn() -> MwAbdCluster)
+            .with_model(ClusterModel::multi_writer(5).without_write_backs());
     let config = FuzzConfig {
         seed: scenario_seed,
         ..config.clone()

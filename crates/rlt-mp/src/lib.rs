@@ -37,6 +37,9 @@
 //! * A multi-writer ABD variant ([`MwAbdCluster`], writes tagged with
 //!   `(counter, writer-id)` sequence pairs) in a correct and a write-back-free
 //!   flavor, driven by the `write-by` schedule verb.
+//! * A static schedule [`analyze`](mod@analyze)r — a pre-replay verifier over the schedule
+//!   grammar below — whose canonical forms front the fuzzer's triage and the
+//!   minimizer's replay cache (see *Schedule grammar and diagnostics*).
 //! * Recorded register-level histories ready to be checked with [`rlt_spec`]:
 //!   linearizability via a [`rlt_spec::Checker`] session and the Theorem 14 property
 //!   via [`rlt_spec::swmr::SwmrCanonical`] and
@@ -108,12 +111,57 @@
 //!
 //! The run is bit-identical per seed at any `RLT_THREADS`; the CLI front-end is
 //! `cargo run --release -p rlt-bench --bin fuzz_hunt -- --smoke`.
+//!
+//! # Schedule grammar and diagnostics
+//!
+//! A [`Schedule`] round-trips through a line-oriented text form (blank lines
+//! and `#` comments are skipped; parse errors carry the 1-based line number):
+//!
+//! ```text
+//! write 7              # designated writer invokes write(7)
+//! write-by 3 7         # process 3 invokes write(7)   (multi-writer clusters)
+//! read 2               # process 2 invokes a read
+//! crash 1              # process 1 fail-stops
+//! recover 1            # process 1 rejoins with persisted replica state
+//! deliver 0->1 write-req#1   # deliver the message named by this key
+//! drop 0->1 write-req#1      # fault layer drops it
+//! dup 0->1 write-req#1       # an extra copy enters flight
+//! delay 0->1 write-req#1 5   # park it for 5 virtual ticks
+//! partition 1 6        # install partition id 1, side bitmask 0b110
+//! heal 1               # heal partition id 1
+//! advance              # fast-forward virtual time to the next deadline
+//! ```
+//!
+//! Message keys are `{from}->{to} {kind}#{seq}` with kinds `write-req`,
+//! `write-ack`, `read-req`, `read-reply`, `wb-req`, `wb-ack`. Replay is
+//! *total*: a step that cannot fire (dead endpoint, missing message, stale
+//! fault id) is skipped with zero side effects, which is what makes every
+//! sub-sequence of a schedule replayable and ddmin sound.
+//!
+//! [`analyze`](mod@analyze) decides much of that skipping **statically**. Given a
+//! [`ClusterModel`] (process count, designated writer, multi-writer?,
+//! write-backs?, retries?) it walks the schedule once and emits line-numbered
+//! [`Diagnostic`]s: `dead`-severity codes mark steps *guaranteed* to be
+//! skipped by replay (`dead-recover`, `dead-heal`, `dead-advance`,
+//! `crashed-endpoint`, `partition-limbo`, `unsent-key`, `no-write-back`,
+//! `client-crashed`, `client-busy`, `not-writer`, `out-of-range`), while
+//! `warn`-severity codes flag suspicious-but-live structure
+//! (`redundant-crash`, `crash-out-of-range`, `shadowed-partition`,
+//! `unhealed-partition`). [`scrub`] drops the dead steps and [`canonicalize`]
+//! sorts adjacent commuting request deliveries, both replay-equivalent — the
+//! canonical text keys the fuzzer's static triage
+//! ([`fuzz::TriagePolicy::Analyze`]) and the minimizer's replay cache
+//! ([`minimize_schedule_with_model`]). `tests/analyze_soundness.rs` proptests
+//! the dead-means-dead contract against real replays; the CLI front-end is
+//! `cargo run --release -p rlt-bench --bin schedule_lint`, and `rlt-server`
+//! exposes the same analysis as `POST /analyze[/{model}]`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod abd;
 pub mod adversary;
+pub mod analyze;
 pub mod delivery;
 pub mod faults;
 pub mod faulty;
@@ -126,9 +174,13 @@ pub use adversary::{
     DeliveryAdversary, DeliveryView, NewestFirstAdversary, OldestFirstAdversary,
     ReplyWithholdingAdversary, ScriptedAdversary, StarveDestinationAdversary, UniformAdversary,
 };
+pub use analyze::{
+    analyze, analyze_text, canonicalize, scrub, Analysis, ClusterModel, Diagnostic, Severity,
+    TextAnalysis,
+};
 pub use delivery::{
     AbdMessage, ClientEvent, Envelope, EnvelopeKey, InflightQueue, MessageCluster, MessageKind,
-    Schedule, ScheduleParseError, ScheduleRun, ScheduleStep,
+    ReplayTrace, Schedule, ScheduleParseError, ScheduleRun, ScheduleStep,
 };
 pub use faults::{
     hunt_with_faults, hunt_with_faults_from_scratch, FaultDecision, FaultInjector, FaultLog,
@@ -138,6 +190,9 @@ pub use faulty::FaultyAbdCluster;
 pub use fuzz::{
     fuzz, fuzz_faulty_rediscovery, fuzz_mw_rediscovery, fuzz_strong_distinctions,
     record_clean_corpus, FuzzConfig, FuzzReport, FuzzTarget, LinearizabilityTarget,
-    StrongFamilyTarget, Trophy,
+    StrongFamilyTarget, TriagePolicy, Trophy,
+};
+pub use minimize::{
+    minimize_schedule, minimize_schedule_by, minimize_schedule_with_model, MinimizeReport,
 };
 pub use mw::{MwAbdCluster, MW_REGISTER};

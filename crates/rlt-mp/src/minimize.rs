@@ -12,10 +12,13 @@
 //! client event skips the operation. Determinism of replay means the returned minimum
 //! re-fails identically on every future replay — a portable regression input.
 
+use crate::analyze::{analyze, canonicalize, scrub, ClusterModel};
 use crate::delivery::{MessageCluster, Schedule, ScheduleStep};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlt_spec::History;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 
 /// Result of [`minimize_schedule`].
 #[derive(Debug)]
@@ -25,6 +28,9 @@ pub struct MinimizeReport {
     pub schedule: Schedule,
     /// Number of candidate replays tried.
     pub replays_tried: u64,
+    /// ddmin trials answered from the static-analysis cache instead of a
+    /// replay (always 0 outside [`minimize_schedule_with_model`]).
+    pub replays_skipped: u64,
 }
 
 /// Shrinks `schedule` to a 1-minimal sub-sequence whose replay (on a fresh cluster
@@ -57,6 +63,57 @@ where
         },
         seed,
     )
+}
+
+/// Like [`minimize_schedule`], but consults the static analyzer
+/// ([`crate::analyze`](mod@crate::analyze)) before each ddmin trial: the candidate's scrubbed +
+/// canonicalized form ([`scrub`], [`canonicalize`]) keys a verdict cache, so a
+/// trial that is a statically-invalid permutation of — or dead-step decoration
+/// on — an already-judged candidate is answered without a replay.
+///
+/// The ddmin trajectory (and therefore the returned 1-minimum) is *identical*
+/// to [`minimize_schedule`]'s for the same arguments: canonical-form equality
+/// guarantees a bit-identical replayed history, so every cached answer equals
+/// the answer a replay would have produced. Only
+/// [`MinimizeReport::replays_tried`] shrinks, with the hits counted in
+/// [`MinimizeReport::replays_skipped`].
+///
+/// # Panics
+///
+/// Panics if the full schedule does not itself satisfy the predicate.
+pub fn minimize_schedule_with_model<C, F, P>(
+    make_cluster: F,
+    schedule: &Schedule,
+    predicate: P,
+    seed: u64,
+    model: &ClusterModel,
+) -> MinimizeReport
+where
+    C: MessageCluster,
+    F: Fn() -> C,
+    P: Fn(&History<i64>) -> bool,
+{
+    let cache: RefCell<BTreeMap<String, bool>> = RefCell::new(BTreeMap::new());
+    let skipped = RefCell::new(0u64);
+    let mut report = minimize_schedule_by(
+        schedule,
+        |candidate| {
+            let key = canonicalize(&scrub(candidate, &analyze(candidate, model))).to_string();
+            if let Some(&verdict) = cache.borrow().get(&key) {
+                *skipped.borrow_mut() += 1;
+                return verdict;
+            }
+            let mut cluster = make_cluster();
+            candidate.replay_on(&mut cluster);
+            let verdict = predicate(&cluster.history());
+            cache.borrow_mut().insert(key, verdict);
+            verdict
+        },
+        seed,
+    );
+    report.replays_skipped = *skipped.borrow();
+    report.replays_tried -= report.replays_skipped;
+    report
 }
 
 /// The general form of [`minimize_schedule`]: the predicate judges the candidate
@@ -120,6 +177,7 @@ where
     MinimizeReport {
         schedule: Schedule { steps },
         replays_tried,
+        replays_skipped: 0,
     }
 }
 
@@ -193,6 +251,28 @@ mod tests {
         let a = minimize_schedule(fresh, &schedule, not_linearizable, 11).schedule;
         let b = minimize_schedule(fresh, &schedule, not_linearizable, 11).schedule;
         assert_eq!(a, b, "same seed, same minimum");
+    }
+
+    #[test]
+    fn model_cache_preserves_the_minimum_and_skips_replays() {
+        let checker = Checker::new(0i64);
+        let schedule = failing_schedule(1);
+        let not_linearizable =
+            |h: &rlt_spec::History<i64>| matches!(checker.check(h).outcome(), Ok(false));
+        let plain = minimize_schedule(fresh, &schedule, not_linearizable, 7);
+        let model = ClusterModel::single_writer(5, ProcessId(0)).without_write_backs();
+        let cached = minimize_schedule_with_model(fresh, &schedule, not_linearizable, 7, &model);
+        assert_eq!(
+            plain.schedule, cached.schedule,
+            "the cache must not change the ddmin trajectory"
+        );
+        assert_eq!(
+            plain.replays_tried,
+            cached.replays_tried + cached.replays_skipped,
+            "every trial is either replayed or answered from the cache"
+        );
+        assert!(cached.replays_skipped > 0, "ddmin retries duplicate forms");
+        assert_eq!(plain.replays_skipped, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | POST   | `/check`                  | wire history    | verdict JSON            |
 //! | POST   | `/check_many`             | `---`-separated | JSON array of verdicts  |
 //! | POST   | `/linearizations[?max=N]` | wire history    | orders JSON             |
+//! | POST   | `/analyze[/{model}]`      | schedule text   | diagnostics JSON        |
 //! | POST   | `/sessions`               | optional seed   | `{"session":id,...}`    |
 //! | POST   | `/sessions/{id}/events`   | wire events     | `{"ops":total}`         |
 //! | GET    | `/sessions/{id}/verdict`  | —               | verdict + inc counters  |
@@ -24,7 +25,7 @@ use crate::service::{CheckService, ServiceError};
 use httpd::{Request, Response};
 
 /// JSON-escapes an error message (they can contain backticks and quotes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -81,6 +82,8 @@ pub fn route(service: &CheckService, req: &Request) -> Response {
             let max = query_param(req.query.as_deref(), "max").and_then(|v| v.parse().ok());
             from_result(service.linearizations_text(body, max))
         }
+        ("POST", ["analyze"]) => from_result(service.analyze_text(None, body)),
+        ("POST", ["analyze", model]) => from_result(service.analyze_text(Some(model), body)),
         ("POST", ["sessions"]) => match service.create_session(body) {
             Ok((id, ops)) => Response::json(201, format!("{{\"session\":{id},\"ops\":{ops}}}")),
             Err(e) => error_response(&e),
@@ -116,8 +119,14 @@ pub fn route(service: &CheckService, req: &Request) -> Response {
         }
         ("GET", ["health"]) => Response::json(200, "{\"status\":\"ok\"}"),
         // Known resources with the wrong method get 405; everything else 404.
-        (_, ["check" | "check_many" | "linearizations" | "sessions" | "metrics" | "health"])
-        | (_, ["sessions", ..]) => Response::json(405, "{\"error\":\"method not allowed\"}"),
+        (
+            _,
+            ["check" | "check_many" | "linearizations" | "analyze" | "sessions" | "metrics"
+            | "health"],
+        )
+        | (_, ["analyze", ..] | ["sessions", ..]) => {
+            Response::json(405, "{\"error\":\"method not allowed\"}")
+        }
         _ => {
             service
                 .metrics

@@ -405,6 +405,53 @@ impl CheckService {
         Ok(out)
     }
 
+    /// `POST /analyze[/{model}]`: statically analyzes a schedule program
+    /// ([`rlt_mp::analyze::analyze_text`]) without replaying it, returning the
+    /// line-numbered diagnostics as byte-stable JSON. `model` selects the
+    /// cluster shape the analyzer may assume; `None` assumes nothing
+    /// ([`rlt_mp::ClusterModel::permissive`]).
+    pub fn analyze_text(&self, model: Option<&str>, body: &str) -> Result<String, ServiceError> {
+        use rlt_mp::ClusterModel;
+        use rlt_spec::ProcessId;
+        let model = match model {
+            None => ClusterModel::permissive(),
+            Some("abd") => ClusterModel::single_writer(5, ProcessId(0)),
+            Some("faulty-abd") => {
+                ClusterModel::single_writer(5, ProcessId(0)).without_write_backs()
+            }
+            Some("mw-abd") => ClusterModel::multi_writer(5),
+            Some("faulty-mw-abd") => ClusterModel::multi_writer(5).without_write_backs(),
+            Some(other) => {
+                return Err(ServiceError::NotFound(format!(
+                    "no such cluster model `{other}`"
+                )))
+            }
+        };
+        let out =
+            rlt_mp::analyze_text(body, &model).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        let mut json = format!(
+            "{{\"clean\":{},\"steps\":{},\"dead_steps\":{},\"diagnostics\":[",
+            out.analysis.is_clean(),
+            out.schedule.len(),
+            out.analysis.dead_steps()
+        );
+        for (i, diag) in out.analysis.diagnostics.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"step\":{},\"line\":{},\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}",
+                diag.step,
+                diag.line,
+                diag.severity,
+                diag.code,
+                crate::handlers::json_escape(&diag.message)
+            ));
+        }
+        json.push_str("]}");
+        Ok(json)
+    }
+
     /// `POST /sessions`: creates a monitoring session, optionally seeded with an
     /// initial wire-text history. Returns `(session id, ops applied)`.
     pub fn create_session(&self, initial: &str) -> Result<(u64, usize), ServiceError> {

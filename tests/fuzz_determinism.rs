@@ -62,6 +62,31 @@ fn fuzz_reports_are_bit_identical_at_one_and_four_threads() {
 }
 
 #[test]
+fn static_triage_counters_are_identical_across_pool_widths() {
+    // Triage keys are computed in parallel but consumed strictly in task
+    // order, so the rejected/canonicalized tallies — and everything downstream
+    // of the mutants they filter — are pool-width invariant.
+    let config = FuzzConfig {
+        generations: 6,
+        stop_at_first_trophy: false,
+        delivery_budget: 30_000,
+        ..FuzzConfig::default()
+    };
+    let narrow = in_pool(1, || fuzz_faulty_rediscovery(11, &config));
+    let wide = in_pool(4, || fuzz_faulty_rediscovery(11, &config));
+    assert_eq!(narrow.statically_rejected, wide.statically_rejected);
+    assert_eq!(
+        narrow.statically_canonicalized,
+        wide.statically_canonicalized
+    );
+    assert!(
+        narrow.statically_rejected > 0,
+        "triage must actually reject some mutants in a 6-generation run"
+    );
+    assert_eq!(narrow, wide);
+}
+
+#[test]
 fn trophy_sets_agree_across_pool_widths_when_hunting() {
     // Rediscovery mode (stop at first trophy): the trophy itself — raw and
     // minimized schedule text — must not depend on the pool width.

@@ -290,3 +290,63 @@ fn session_verdicts_match_direct_incremental_checker() {
     );
     handle.shutdown();
 }
+
+#[test]
+fn analyze_reports_line_numbered_diagnostics_as_stable_json() {
+    let (handle, mut client) = server(AppConfig::default());
+    // A clean schedule under the permissive model.
+    let resp = client
+        .post("/analyze", "write 7\ncrash 1\nrecover 1\n")
+        .expect("POST /analyze");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.body,
+        "{\"clean\":true,\"steps\":3,\"dead_steps\":0,\"diagnostics\":[]}"
+    );
+    // Dead steps come back with real source line numbers (comments counted).
+    let resp = client
+        .post("/analyze", "# preamble\n\nrecover 2\nheal 9\n")
+        .expect("POST /analyze");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body,
+        "{\"clean\":false,\"steps\":2,\"dead_steps\":2,\"diagnostics\":[\
+         {\"step\":0,\"line\":3,\"severity\":\"dead\",\"code\":\"dead-recover\",\
+         \"message\":\"process 2 is not crashed here\"},\
+         {\"step\":1,\"line\":4,\"severity\":\"dead\",\"code\":\"dead-heal\",\
+         \"message\":\"no partition with id 9 is installed\"}]}"
+    );
+    // Shaped models unlock protocol-role diagnostics.
+    let resp = client
+        .post("/analyze/faulty-abd", "read 2\ndeliver 2->1 wb-req#1\n")
+        .expect("POST /analyze/faulty-abd");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body.contains("\"code\":\"no-write-back\""),
+        "{}",
+        resp.body
+    );
+    // Byte-stability: the same body twice produces the same bytes.
+    let again = client
+        .post("/analyze/faulty-abd", "read 2\ndeliver 2->1 wb-req#1\n")
+        .expect("repeat");
+    assert_eq!(resp.body, again.body);
+    handle.shutdown();
+}
+
+#[test]
+fn analyze_maps_errors_to_400_404_405() {
+    let (handle, mut client) = server(AppConfig::default());
+    let resp = client
+        .post("/analyze", "write 1\nbogus step\n")
+        .expect("POST /analyze");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("schedule line 2:"), "{}", resp.body);
+    let resp = client
+        .post("/analyze/no-such-cluster", "write 1\n")
+        .expect("POST unknown model");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    let resp = client.get("/analyze").expect("GET /analyze");
+    assert_eq!(resp.status, 405, "{}", resp.body);
+    handle.shutdown();
+}

@@ -172,6 +172,7 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group entry point (generated).
         pub fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+
